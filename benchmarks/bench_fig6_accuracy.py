@@ -1,0 +1,61 @@
+"""Fig 6 — accuracy of every sketch on the four data sets through the
+streaming engine (event-time tumbling windows, first window discarded,
+means over independent runs).
+
+Published shapes asserted per panel:
+
+* (a) Pareto — KLL's upper/p99 relative error blows up; DD/UDD hold
+  their guarantee; REQ (HRA) excellent at the tail.
+* (b) Uniform — everyone below the 1% threshold.
+* (c) NYT — Moments exceeds the threshold on real-world data; DD/UDD
+  hold; sampling sketches benefit from repeated values.
+* (d) Power — Moments' mid-quantile error is its worst region; REQ
+  best at the 0.99 quantile.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.accuracy import run_accuracy
+
+DATASETS = ("pareto", "uniform", "nyt", "power")
+
+
+@pytest.fixture(scope="module")
+def results(scale):
+    return {d: run_accuracy(d, scale=scale) for d in DATASETS}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def bench_fig6_accuracy(benchmark, dataset, scale, results):
+    # The measured artifact is the full windowed run; re-run one
+    # (cheaper single-dataset) pass under the timer and reuse the
+    # module-level results for the assertions/tables.
+    result = benchmark.pedantic(
+        lambda: run_accuracy(dataset, ("ddsketch",), scale=scale),
+        rounds=1, iterations=1,
+    )
+    assert result.dataset == dataset
+    full = results[dataset]
+    emit(full.to_table())
+
+    grouped = full.grouped
+    if dataset == "pareto":
+        assert grouped["kll"]["p99"] > 2 * grouped["ddsketch"]["p99"]
+        assert grouped["uddsketch"]["mid"] <= 0.0101
+        assert grouped["req"]["upper"] < 0.0101
+    elif dataset == "uniform":
+        for sketch, groups in grouped.items():
+            assert groups["mid"] < 0.011, sketch
+            assert groups["upper"] < 0.011, sketch
+    elif dataset == "nyt":
+        worst_moments = max(grouped["moments"].values())
+        assert worst_moments > 0.009
+        assert grouped["uddsketch"]["mid"] <= 0.0101
+    elif dataset == "power":
+        # Sec 4.5.4: the bimodal shape pushes Moments' mid-quantile
+        # error past the threshold; DD/UDD are unaffected.
+        assert grouped["moments"]["mid"] > 0.0101
+        assert grouped["ddsketch"]["upper"] <= 0.0101
+        assert grouped["uddsketch"]["mid"] <= 0.0101
+    benchmark.extra_info["grouped"] = grouped

@@ -1,0 +1,50 @@
+"""Quickstart: estimate quantiles of a stream in constant space.
+
+Builds a DDSketch over a million latency-like values, queries the
+median and tail quantiles, demonstrates merging and serialization, and
+compares everything against the exact answers.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro import DDSketch, ExactQuantiles, dumps, loads
+
+rng = np.random.default_rng(7)
+
+# A long-tailed "request latency" stream: 1M lognormal milliseconds.
+latencies = rng.lognormal(mean=3.0, sigma=0.8, size=1_000_000)
+
+# --- One-pass sketching ------------------------------------------------
+sketch = DDSketch(alpha=0.01)  # 1% relative-error guarantee
+sketch.update_batch(latencies)
+
+exact = ExactQuantiles()
+exact.update_batch(latencies)
+
+print(f"stream length : {sketch.count:,}")
+print(f"sketch size   : {sketch.size_bytes() / 1000:.2f} KB "
+      f"(raw data: {8 * sketch.count / 1e6:.0f} MB)")
+print()
+print(f"{'quantile':>9} {'exact':>10} {'sketch':>10} {'rel.err':>8}")
+for q in (0.5, 0.9, 0.95, 0.99, 0.999):
+    true = exact.quantile(q)
+    est = sketch.quantile(q)
+    print(f"{q:>9} {true:>10.2f} {est:>10.2f} "
+          f"{abs(est - true) / true:>8.4f}")
+
+# --- Mergeability ------------------------------------------------------
+# Split the stream across two "machines", sketch locally, merge.
+left, right = DDSketch(alpha=0.01), DDSketch(alpha=0.01)
+left.update_batch(latencies[:500_000])
+right.update_batch(latencies[500_000:])
+left.merge(right)
+assert abs(left.quantile(0.99) - sketch.quantile(0.99)) < 1e-9
+print("\nmerged sketch p99 equals single-pass sketch p99: OK")
+
+# --- Serialization -----------------------------------------------------
+payload = dumps(sketch)
+restored = loads(payload)
+assert restored.quantile(0.95) == sketch.quantile(0.95)
+print(f"serialized to {len(payload):,} bytes and restored: OK")

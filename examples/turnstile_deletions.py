@@ -1,0 +1,81 @@
+"""Turnstile streams: quantiles under insertions AND deletions.
+
+The five sketches the paper evaluates are cash-register algorithms —
+insert-only (Sec 5.1).  When the stream also retracts items (order
+cancellations, TTL expiry, compensating events), a turnstile sketch is
+needed; the paper's representative is the Dyadic Count Sketch
+(Sec 5.2.3), which pays for deletions with a much larger footprint and
+a bounded-universe requirement.
+
+The scenario: an order book tracks the price distribution of open
+orders.  Orders are placed and later filled or cancelled (deleted);
+the p50/p95 of *open* orders must stay accurate throughout.
+
+Run: ``python examples/turnstile_deletions.py``
+"""
+
+import numpy as np
+
+from repro import DyadicCountSketch, KLLSketch
+
+UNIVERSE_LOG2 = 16  # prices in [0, 65536) cents
+N_ROUNDS = 5
+ORDERS_PER_ROUND = 40_000
+
+
+def quantile_report(label, sketch, open_orders):
+    true = np.quantile(open_orders, [0.5, 0.95])
+    est = [sketch.quantile(0.5), sketch.quantile(0.95)]
+    print(f"{label:>28}: open={len(open_orders):>7,}  "
+          f"p50 {est[0]:>7.0f} (true {true[0]:>7.0f})  "
+          f"p95 {est[1]:>7.0f} (true {true[1]:>7.0f})")
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    dcs = DyadicCountSketch(universe_log2=UNIVERSE_LOG2, seed=1)
+    open_orders = np.zeros(0)
+
+    for round_no in range(1, N_ROUNDS + 1):
+        # Place new orders: lognormal prices in cents.
+        placed = np.clip(
+            np.round(rng.lognormal(8.0, 0.6, ORDERS_PER_ROUND)),
+            1, (1 << UNIVERSE_LOG2) - 1,
+        )
+        dcs.update_batch(placed)
+        open_orders = np.concatenate([open_orders, placed])
+
+        # Fill/cancel open orders — cheap orders fill much faster, so
+        # the *open* distribution drifts upward over time.
+        fill_probability = np.where(open_orders < 3_000, 0.85, 0.35)
+        filled = rng.random(open_orders.size) < fill_probability
+        dcs.delete_batch(open_orders[filled])
+        open_orders = open_orders[~filled]
+
+        quantile_report(f"round {round_no}", dcs, open_orders)
+
+    print(f"\nDCS footprint: {dcs.size_bytes() / 1000:.0f} KB "
+          f"(bounded universe of {1 << UNIVERSE_LOG2:,} prices)")
+
+    # Contrast: a cash-register sketch cannot retract, so after heavy
+    # cancellation its estimates describe the wrong population.
+    kll = KLLSketch(seed=1)
+    rng = np.random.default_rng(23)
+    all_seen = np.zeros(0)
+    for _ in range(N_ROUNDS):
+        placed = np.clip(
+            np.round(rng.lognormal(8.0, 0.6, ORDERS_PER_ROUND)),
+            1, (1 << UNIVERSE_LOG2) - 1,
+        )
+        kll.update_batch(placed)
+        all_seen = np.concatenate([all_seen, placed])
+    print(f"\ninsert-only KLL p95 over *all* orders ever placed: "
+          f"{kll.quantile(0.95):.0f}")
+    print(f"true p95 of the *open* orders only:                "
+          f"{np.quantile(open_orders, 0.95):.0f}")
+    print("-> cash-register sketches answer a different question once "
+          "the stream retracts items")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,193 @@
+"""Common interface for streaming quantile sketches.
+
+All sketches in :mod:`repro.core` implement :class:`QuantileSketch`: a
+single-pass, mergeable summary of a stream of floats that can answer
+``q``-quantile queries (Sec 2.1 of the paper).  The interface mirrors what
+the paper's evaluation exercises — insertion (`update`), distributed
+aggregation (`merge`), queries (`quantile`, `quantiles`, `rank`, `cdf`)
+and space accounting (`size_bytes`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import EmptySketchError, InvalidQuantileError
+
+
+def validate_quantile(q: float) -> float:
+    """Validate that *q* lies in (0, 1] and return it as a float.
+
+    The paper defines the q-quantile for ``0 < q <= 1`` (Sec 2.1); a
+    query at exactly 1.0 returns the maximum.
+    """
+    q = float(q)
+    if not 0.0 < q <= 1.0:
+        raise InvalidQuantileError(q)
+    return q
+
+
+class QuantileSketch(abc.ABC):
+    """Abstract base class for one-pass mergeable quantile sketches.
+
+    Subclasses must implement :meth:`update`, :meth:`merge`,
+    :meth:`quantile` and :meth:`size_bytes`, and maintain the common
+    bookkeeping attributes ``_count``, ``_min`` and ``_max`` (most easily
+    by calling :meth:`_observe` from their ``update``).
+    """
+
+    #: Registry name, overridden by each concrete sketch.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._min = np.inf
+        self._max = -np.inf
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def update(self, value: float) -> None:
+        """Insert a single value into the sketch."""
+
+    def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
+        """Insert many values.
+
+        The default implementation loops over :meth:`update`; sketches
+        with vectorisable ingestion (DDSketch, UDDSketch, Moments Sketch)
+        override this with a numpy fast path.
+        """
+        for value in np.asarray(values, dtype=np.float64).ravel():
+            self.update(float(value))
+
+    def _observe(self, value: float) -> None:
+        """Record the min/max/count bookkeeping shared by all sketches."""
+        self._count += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def _observe_batch(self, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        self._count += int(values.size)
+        lo = float(values.min())
+        hi = float(values.max())
+        if lo < self._min:
+            self._min = lo
+        if hi > self._max:
+            self._max = hi
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def merge(self, other: "QuantileSketch") -> None:
+        """Merge *other* into this sketch in place.
+
+        After the call, this sketch summarises the union of both input
+        streams (Sec 2.4: mergeability).  *other* is left unchanged.
+        """
+
+    def _merge_bookkeeping(self, other: "QuantileSketch") -> None:
+        self._count += other._count
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def quantile(self, q: float) -> float:
+        """Return an estimate of the *q*-quantile, for ``0 < q <= 1``."""
+
+    def quantiles(self, qs: Iterable[float]) -> list[float]:
+        """Return estimates for several quantiles in one call."""
+        return [self.quantile(q) for q in qs]
+
+    def rank(self, value: float) -> int:
+        """Estimate ``Rank(value)``: the number of items ``<= value``.
+
+        The default implementation inverts :meth:`quantile` by bisection;
+        sketches that can answer rank queries natively override it.
+        """
+        self._require_nonempty()
+        if value < self._min:
+            return 0
+        if value >= self._max:
+            return self._count
+        lo, hi = 0.0, 1.0
+        for _ in range(64):
+            mid = (lo + hi) / 2.0
+            if mid <= 0.0:
+                break
+            if self.quantile(max(mid, 1e-12)) <= value:
+                lo = mid
+            else:
+                hi = mid
+        return int(round(lo * self._count))
+
+    def cdf(self, value: float) -> float:
+        """Estimate the empirical CDF at *value* (``Quantile^-1`` in the
+        paper's Table 1), as a fraction in [0, 1]."""
+        self._require_nonempty()
+        return self.rank(value) / self._count
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of values inserted so far (stream length)."""
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    @property
+    def min(self) -> float:
+        """Smallest value observed."""
+        self._require_nonempty()
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Largest value observed."""
+        self._require_nonempty()
+        return self._max
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Estimated in-memory footprint of the summary, in bytes.
+
+        Counts the numbers retained by the data structure (8 bytes per
+        double/long, matching the paper's Sec 4.3 accounting), not Python
+        object overhead, so figures are comparable to Table 3.
+        """
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} count={self._count} "
+            f"size_bytes={self.size_bytes()}>"
+        )
+
+    def _require_nonempty(self) -> None:
+        if self._count == 0:
+            raise EmptySketchError(
+                f"{type(self).__name__} has seen no data"
+            )

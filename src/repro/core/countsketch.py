@@ -1,0 +1,154 @@
+"""Count-Sketch frequency estimator (Charikar, Chen, Farach-Colton,
+ICALP 2002; reference [10] of the paper).
+
+The linear-sketch substrate of the Dyadic Count Sketch (Sec 5.2.3): a
+``depth x width`` counter table where each row hashes a key to one
+counter with a random sign.  Updates add ``sign * count``; a point
+query returns the median of the per-row signed counters, an unbiased
+estimate whose error is bounded by the L2 norm of the frequency vector
+over ``sqrt(width)``.
+
+Being a *linear* sketch it supports negative updates (deletions) —
+the defining property of turnstile algorithms (Sec 5.1).
+
+Hashing is multiply-shift over ``uint64`` (Dietzfelbinger et al.),
+which is 2-universal for power-of-two widths and fully vectorises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IncompatibleSketchError, InvalidValueError
+
+DEFAULT_DEPTH = 5
+DEFAULT_WIDTH = 512
+
+
+class CountSketch:
+    """Fixed-size linear frequency sketch over integer keys.
+
+    Parameters
+    ----------
+    width:
+        Counters per row (power of two); estimate error shrinks as
+        ``1/sqrt(width)``.
+    depth:
+        Number of independent rows; the median over rows drives the
+        failure probability down exponentially.
+    seed:
+        Seed for the hash family (two sketches merge only if they
+        share a seed, i.e. the same hash functions).
+    """
+
+    __slots__ = ("width", "depth", "seed", "_shift", "_table",
+                 "_bucket_a", "_bucket_b", "_sign_a", "_sign_b")
+
+    def __init__(
+        self,
+        width: int = DEFAULT_WIDTH,
+        depth: int = DEFAULT_DEPTH,
+        seed: int = 0,
+    ) -> None:
+        if width < 2 or width & (width - 1):
+            raise InvalidValueError(
+                f"width must be a power of two >= 2, got {width!r}"
+            )
+        if depth < 1:
+            raise InvalidValueError(f"depth must be >= 1, got {depth!r}")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = int(seed)
+        self._shift = np.uint64(64 - int(width).bit_length() + 1)
+        rng = np.random.default_rng(seed)
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+        # Odd multipliers make multiply-shift 2-universal.
+        self._bucket_a = (
+            rng.integers(0, 1 << 63, self.depth, dtype=np.uint64) << 1 | 1
+        )
+        self._bucket_b = rng.integers(
+            0, 1 << 63, self.depth, dtype=np.uint64
+        )
+        self._sign_a = (
+            rng.integers(0, 1 << 63, self.depth, dtype=np.uint64) << 1 | 1
+        )
+        self._sign_b = rng.integers(
+            0, 1 << 63, self.depth, dtype=np.uint64
+        )
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+
+    def _buckets_of(self, keys: np.ndarray) -> np.ndarray:
+        """(depth, n) array of bucket columns for *keys*."""
+        keys = keys.astype(np.uint64)
+        hashed = (
+            self._bucket_a[:, None] * keys[None, :]
+            + self._bucket_b[:, None]
+        )
+        return (hashed >> self._shift).astype(np.int64)
+
+    def _signs_of(self, keys: np.ndarray) -> np.ndarray:
+        """(depth, n) array of +-1 signs for *keys*."""
+        keys = keys.astype(np.uint64)
+        hashed = (
+            self._sign_a[:, None] * keys[None, :]
+            + self._sign_b[:, None]
+        )
+        top_bit = (hashed >> np.uint64(63)).astype(np.int64)
+        return top_bit * 2 - 1
+
+    # ------------------------------------------------------------------
+    # Updates and queries
+    # ------------------------------------------------------------------
+
+    def update(self, key: int, count: int = 1) -> None:
+        """Add *count* (may be negative) occurrences of *key*."""
+        self.update_batch(np.asarray([key], dtype=np.int64), count)
+
+    def update_batch(self, keys: np.ndarray, count: int = 1) -> None:
+        """Add *count* occurrences of every key in *keys*."""
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        if keys.size == 0:
+            return
+        if (keys < 0).any():
+            raise InvalidValueError("keys must be non-negative integers")
+        buckets = self._buckets_of(keys)
+        signs = self._signs_of(keys) * count
+        for row in range(self.depth):
+            np.add.at(self._table[row], buckets[row], signs[row])
+
+    def estimate(self, key: int) -> int:
+        """Estimated net count of *key* (median over rows)."""
+        return int(self.estimate_batch(np.asarray([key]))[0])
+
+    def estimate_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`estimate` over an array of keys."""
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        buckets = self._buckets_of(keys)
+        signs = self._signs_of(keys)
+        rows = np.arange(self.depth)[:, None]
+        per_row = self._table[rows, buckets] * signs
+        return np.median(per_row, axis=0).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Merging and accounting
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "CountSketch") -> None:
+        """Add *other*'s counters (requires identical configuration)."""
+        if (
+            other.width != self.width
+            or other.depth != self.depth
+            or other.seed != self.seed
+        ):
+            raise IncompatibleSketchError(
+                "CountSketch configurations (or hash seeds) differ"
+            )
+        self._table += other._table
+
+    def size_bytes(self) -> int:
+        return 8 * self._table.size + 8 * 4 * self.depth

@@ -1,0 +1,225 @@
+"""DDSketch — a fast, fully-mergeable quantile sketch with relative-error
+guarantees (Masson et al., VLDB 2019; Sec 3.3 of the paper).
+
+The sketch is a geometric histogram: a value ``x`` lands in the bucket
+``ceil(log_gamma(x))`` with ``gamma = (1 + alpha) / (1 - alpha)``, so the
+representative value of any bucket is within relative error ``alpha`` of
+every value it holds.  Quantiles are answered with a cumulative walk over
+the buckets and merging adds bucket counts.
+
+This implementation supports negative values and zeros through a mirrored
+store plus a zero counter (as DataDog's library does), and three store
+layouts — unbounded dense (the paper's accuracy configuration), bounded
+collapsing dense, and sparse.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.base import QuantileSketch, validate_quantile
+from repro.core.mapping import (
+    MIN_INDEXABLE_VALUE,
+    LogarithmicMapping,
+)
+from repro.core.store import (
+    BucketStore,
+    CollapsingLowestDenseStore,
+    DenseStore,
+    SparseStore,
+)
+from repro.errors import IncompatibleSketchError, InvalidValueError
+
+DEFAULT_ALPHA = 0.01
+
+_STORE_FACTORIES: dict[str, Callable[..., BucketStore]] = {
+    "dense": lambda max_bins: DenseStore(),
+    "collapsing": lambda max_bins: CollapsingLowestDenseStore(max_bins),
+    "sparse": lambda max_bins: SparseStore(),
+}
+
+
+class DDSketch(QuantileSketch):
+    """Relative-error quantile sketch over arbitrary floats.
+
+    Parameters
+    ----------
+    alpha:
+        Relative-error guarantee; the paper's experiments use 0.01
+        (gamma = 1.0202).
+    store:
+        Bucket store layout: ``"dense"`` (unbounded, the paper's
+        configuration), ``"collapsing"`` (bounded at *max_bins*) or
+        ``"sparse"``.
+    max_bins:
+        Bucket budget for the collapsing store; ignored otherwise.
+    """
+
+    name = "ddsketch"
+
+    def __init__(
+        self,
+        alpha: float = DEFAULT_ALPHA,
+        store: str = "dense",
+        max_bins: int = 1024,
+    ) -> None:
+        super().__init__()
+        if store not in _STORE_FACTORIES:
+            raise InvalidValueError(
+                f"unknown store {store!r}; expected one of "
+                f"{sorted(_STORE_FACTORIES)}"
+            )
+        self._mapping = LogarithmicMapping(alpha)
+        self._store_kind = store
+        self._max_bins = int(max_bins)
+        self._positive = _STORE_FACTORIES[store](max_bins)
+        self._negative = _STORE_FACTORIES[store](max_bins)
+        self._zero_count = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if not np.isfinite(value):
+            raise InvalidValueError(f"cannot insert non-finite value {value!r}")
+        if value > MIN_INDEXABLE_VALUE:
+            self._positive.add(self._mapping.index(value))
+        elif value < -MIN_INDEXABLE_VALUE:
+            self._negative.add(self._mapping.index(-value))
+        else:
+            self._zero_count += 1
+        self._observe(value)
+
+    def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        if not np.isfinite(values).all():
+            raise InvalidValueError("batch contains non-finite values")
+        positive = values[values > MIN_INDEXABLE_VALUE]
+        negative = values[values < -MIN_INDEXABLE_VALUE]
+        n_zero = values.size - positive.size - negative.size
+        if positive.size:
+            self._positive.add_batch(self._mapping.index_batch(positive))
+        if negative.size:
+            self._negative.add_batch(self._mapping.index_batch(-negative))
+        self._zero_count += int(n_zero)
+        self._observe_batch(values)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        q = validate_quantile(q)
+        self._require_nonempty()
+        # 0-based rank of the q-quantile item under the paper's Sec 2.1
+        # definition (the item of rank ceil(qN)).
+        rank = max(np.ceil(q * self._count) - 1, 0)
+        neg_total = self._negative.total
+        if rank < neg_total:
+            # Negatives are ordered most-negative first: the item of rank
+            # r sits in the bucket found by walking |x| buckets downward.
+            key = self._key_at_rank_descending(self._negative, rank)
+            estimate = -self._mapping.value(key)
+        elif rank < neg_total + self._zero_count:
+            estimate = 0.0
+        else:
+            key = self._positive.key_at_rank(
+                rank - neg_total - self._zero_count
+            )
+            estimate = self._mapping.value(key)
+        # Clamp to the observed range so extreme quantiles never leave it.
+        return float(min(max(estimate, self._min), self._max))
+
+    @staticmethod
+    def _key_at_rank_descending(store: BucketStore, rank: float) -> int:
+        items = list(store.items())
+        cumulative = 0
+        for index, count in reversed(items):
+            cumulative += count
+            if cumulative > rank:
+                return index
+        return items[0][0]
+
+    def rank(self, value: float) -> int:
+        self._require_nonempty()
+        value = float(value)
+        if value >= self._max:
+            return self._count
+        if value < self._min:
+            return 0
+        total = 0
+        if value >= -MIN_INDEXABLE_VALUE:
+            # everything negative is <= value
+            total += self._negative.total
+            if value >= MIN_INDEXABLE_VALUE:
+                total += self._zero_count
+                index = self._mapping.index(value)
+                total += sum(
+                    c for i, c in self._positive.items() if i <= index
+                )
+            else:
+                total += self._zero_count
+        else:
+            index = self._mapping.index(-value)
+            total += sum(c for i, c in self._negative.items() if i >= index)
+        return min(total, self._count)
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: QuantileSketch) -> None:
+        if not isinstance(other, DDSketch):
+            raise IncompatibleSketchError(
+                f"cannot merge DDSketch with {type(other).__name__}"
+            )
+        self._mapping.require_compatible(other._mapping)
+        self._positive.merge(other._positive)
+        self._negative.merge(other._negative)
+        self._zero_count += other._zero_count
+        self._merge_bookkeeping(other)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def alpha(self) -> float:
+        """Relative-error guarantee of the sketch."""
+        return self._mapping.alpha
+
+    @property
+    def gamma(self) -> float:
+        return self._mapping.gamma
+
+    @property
+    def mapping(self) -> LogarithmicMapping:
+        return self._mapping
+
+    @property
+    def num_buckets(self) -> int:
+        """Non-empty buckets across both stores."""
+        return self._positive.num_buckets + self._negative.num_buckets
+
+    @property
+    def is_collapsed(self) -> bool:
+        """Whether a bounded store has folded low buckets (guarantee lost
+        for the affected lower quantiles)."""
+        return bool(
+            getattr(self._positive, "is_collapsed", False)
+            or getattr(self._negative, "is_collapsed", False)
+        )
+
+    def size_bytes(self) -> int:
+        # Stores plus zero counter, count, min, max and gamma.
+        return (
+            self._positive.size_bytes()
+            + self._negative.size_bytes()
+            + 5 * 8
+        )

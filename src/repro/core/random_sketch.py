@@ -1,0 +1,220 @@
+"""Random — the buffer-collapse quantile sketch (Manku, Rajagopalan,
+Lindsay, SIGMOD 1999; Sec 5.2.1 of the paper).
+
+The ancestor of KLL: a fixed set of buffers of capacity ``k``, each
+carrying an integer *weight* (how many stream elements each retained
+item represents).  Incoming items fill a weight-1 buffer; when all
+buffers are full, the two lightest buffers *collapse* — their items are
+merged in weighted sorted order and ``k`` survivors are selected at
+evenly-spaced weighted positions (with a random phase), producing one
+buffer whose weight is the sum of the inputs'.  A query materialises
+the weighted items and selects by cumulative weight.
+
+The paper's lineage argument (Sec 3.1/5.2.1) is that KLL strictly
+improves this scheme with geometrically-shrinking compactor
+capacities; ``benchmarks/bench_related_work.py`` reproduces that
+comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import QuantileSketch, validate_quantile
+from repro.errors import IncompatibleSketchError, InvalidValueError
+
+DEFAULT_NUM_BUFFERS = 8
+DEFAULT_BUFFER_SIZE = 128
+
+
+class _Buffer:
+    __slots__ = ("weight", "items")
+
+    def __init__(self, weight: int, items: list[float]) -> None:
+        self.weight = weight
+        self.items = items
+
+
+class RandomSketch(QuantileSketch):
+    """Manku et al.'s buffer-collapse sketch.
+
+    Parameters
+    ----------
+    num_buffers:
+        Number of equal-size buffers (``b`` in the original paper).
+    buffer_size:
+        Capacity ``k`` of each buffer; total space is ``b * k``.
+    seed:
+        Seed for the random phase of each collapse.
+    """
+
+    name = "random"
+
+    def __init__(
+        self,
+        num_buffers: int = DEFAULT_NUM_BUFFERS,
+        buffer_size: int = DEFAULT_BUFFER_SIZE,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        if num_buffers < 2:
+            raise InvalidValueError(
+                f"num_buffers must be >= 2, got {num_buffers!r}"
+            )
+        if buffer_size < 2:
+            raise InvalidValueError(
+                f"buffer_size must be >= 2, got {buffer_size!r}"
+            )
+        self.num_buffers = int(num_buffers)
+        self.buffer_size = int(buffer_size)
+        self._rng = np.random.default_rng(seed)
+        self._full: list[_Buffer] = []
+        self._active: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise InvalidValueError(f"cannot insert non-finite value {value!r}")
+        self._active.append(value)
+        self._observe(value)
+        if len(self._active) >= self.buffer_size:
+            self._seal_active()
+
+    def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        if not np.isfinite(values).all():
+            raise InvalidValueError("batch contains non-finite values")
+        self._observe_batch(values)
+        pos = 0
+        while pos < values.size:
+            room = self.buffer_size - len(self._active)
+            chunk = values[pos : pos + room]
+            self._active.extend(chunk.tolist())
+            pos += int(chunk.size)
+            if len(self._active) >= self.buffer_size:
+                self._seal_active()
+
+    def _seal_active(self) -> None:
+        self._full.append(_Buffer(1, self._active))
+        self._active = []
+        while len(self._full) >= self.num_buffers:
+            self._collapse_lightest_pair()
+
+    def _collapse_lightest_pair(self) -> None:
+        """Collapse the two lightest buffers into one of summed weight.
+
+        Survivors sit at weighted positions ``j * W + phase`` of the
+        merged sequence, the unbiased selection of the original
+        algorithm (each input item survives with probability
+        proportional to its weight).
+        """
+        self._full.sort(key=lambda buffer: buffer.weight)
+        first, second = self._full[0], self._full[1]
+        combined_weight = first.weight + second.weight
+        weighted = sorted(
+            [(value, first.weight) for value in first.items]
+            + [(value, second.weight) for value in second.items]
+        )
+        total_weight = first.weight * len(first.items) + (
+            second.weight * len(second.items)
+        )
+        num_survivors = total_weight // combined_weight
+        phase = int(self._rng.integers(combined_weight))
+        survivors: list[float] = []
+        cumulative = 0
+        target = phase
+        for value, weight in weighted:
+            cumulative += weight
+            while len(survivors) < num_survivors and target < cumulative:
+                survivors.append(value)
+                target += combined_weight
+        self._full = self._full[2:]
+        self._full.append(_Buffer(combined_weight, survivors))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _weighted_samples(self) -> tuple[np.ndarray, np.ndarray]:
+        values: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        for buffer in self._full:
+            if not buffer.items:
+                continue
+            arr = np.asarray(buffer.items)
+            values.append(arr)
+            weights.append(np.full(arr.size, buffer.weight, dtype=np.int64))
+        if self._active:
+            arr = np.asarray(self._active)
+            values.append(arr)
+            weights.append(np.ones(arr.size, dtype=np.int64))
+        all_values = np.concatenate(values)
+        all_weights = np.concatenate(weights)
+        order = np.argsort(all_values, kind="stable")
+        return all_values[order], all_weights[order]
+
+    def quantile(self, q: float) -> float:
+        q = validate_quantile(q)
+        self._require_nonempty()
+        values, weights = self._weighted_samples()
+        cumulative = np.cumsum(weights)
+        target = math.ceil(q * cumulative[-1])
+        pos = int(np.searchsorted(cumulative, target, side="left"))
+        pos = min(pos, values.size - 1)
+        return float(values[pos])
+
+    def rank(self, value: float) -> int:
+        self._require_nonempty()
+        values, weights = self._weighted_samples()
+        pos = int(np.searchsorted(values, value, side="right"))
+        retained = int(weights[:pos].sum())
+        total = int(weights.sum())
+        if total == 0:
+            return 0
+        return min(int(round(retained * self._count / total)), self._count)
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: QuantileSketch) -> None:
+        if not isinstance(other, RandomSketch):
+            raise IncompatibleSketchError(
+                f"cannot merge RandomSketch with {type(other).__name__}"
+            )
+        if (
+            other.buffer_size != self.buffer_size
+            or other.num_buffers != self.num_buffers
+        ):
+            raise IncompatibleSketchError(
+                "RandomSketch configurations differ"
+            )
+        for buffer in other._full:
+            self._full.append(_Buffer(buffer.weight, list(buffer.items)))
+        self._merge_bookkeeping(other)
+        for value in other._active:
+            self._active.append(value)
+            if len(self._active) >= self.buffer_size:
+                self._seal_active()
+        while len(self._full) >= self.num_buffers:
+            self._collapse_lightest_pair()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_retained(self) -> int:
+        return sum(len(b.items) for b in self._full) + len(self._active)
+
+    def size_bytes(self) -> int:
+        return 8 * self.num_retained + 8 * len(self._full) + 4 * 8

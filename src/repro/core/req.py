@@ -1,0 +1,297 @@
+"""ReqSketch — Relative Error Quantiles sketch (Cormode, Karnin, Liberty,
+Thaler, Vesely, PODS 2021; Sec 3.5 of the paper).
+
+Like KLL the sketch keeps a hierarchy of compactors, but each
+*relative-compactor* protects a prefix of its sorted buffer and only
+compacts a section-aligned region at one end, with a *compaction
+schedule* that compacts the exposed end more often the closer it is to
+the buffer edge.  With high-rank accuracy (HRA) enabled the low end is
+compacted, biasing retention toward large values and giving the
+multiplicative rank guarantee ``|rank(x) - est| <= eps * rank(x)`` for
+the upper quantiles the paper cares about.
+
+The parameterisation follows the paper's Sec 4.2: ``num_sections`` is the
+section-size knob (the Apache library calls it ``k``), and HRA is on by
+default.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import QuantileSketch, validate_quantile
+from repro.errors import IncompatibleSketchError, InvalidValueError
+
+DEFAULT_NUM_SECTIONS = 30
+
+#: Every relative-compactor starts with this many sections.
+INIT_SECTIONS = 3
+
+#: Floor for the section size as the schedule shrinks it.
+MIN_SECTION_SIZE = 4
+
+
+def _nearest_even(x: float) -> int:
+    return int(round(x / 2.0)) * 2
+
+
+class _RelativeCompactor:
+    """One level of the ReqSketch hierarchy."""
+
+    __slots__ = (
+        "section_size",
+        "_section_size_f",
+        "num_sections",
+        "state",
+        "buffer",
+        "hra",
+    )
+
+    def __init__(self, section_size: int, hra: bool) -> None:
+        self.section_size = section_size
+        self._section_size_f = float(section_size)
+        self.num_sections = INIT_SECTIONS
+        self.state = 0  # compaction counter driving the schedule
+        self.buffer: list[float] = []
+        self.hra = hra
+
+    @property
+    def nom_capacity(self) -> int:
+        """Buffer capacity ``B = 2 * num_sections * section_size``."""
+        return 2 * self.num_sections * self.section_size
+
+    def compact(self, rng: np.random.Generator) -> list[float]:
+        """Run one compaction and return the items promoted upward."""
+        self._ensure_enough_sections()
+        self.buffer.sort()
+        # The schedule compacts 1 section most of the time and
+        # progressively more sections as the state accumulates set bits,
+        # so items near the protected end are compacted rarely.
+        secs = min(
+            _trailing_ones(self.state) + 1,
+            self.num_sections - 1,
+        )
+        compact_len = secs * self.section_size
+        # At least half the buffer is always protected.
+        compact_len = min(compact_len, len(self.buffer) // 2)
+        compact_len -= compact_len % 2  # even region for a fair halving
+        if compact_len < 2:
+            compact_len = 2
+        if self.hra:
+            region = self.buffer[:compact_len]
+            keep = self.buffer[compact_len:]
+        else:
+            region = self.buffer[len(self.buffer) - compact_len :]
+            keep = self.buffer[: len(self.buffer) - compact_len]
+        offset = int(rng.integers(2))
+        promoted = region[offset::2]
+        self.buffer = keep
+        self.state += 1
+        return promoted
+
+    def _ensure_enough_sections(self) -> None:
+        """Double the section count (shrinking sections) when the state
+        says this compactor has been compacted enough times."""
+        new_size_f = self._section_size_f / math.sqrt(2.0)
+        new_size = _nearest_even(new_size_f)
+        if (
+            self.state >= (1 << (self.num_sections - 1))
+            and new_size >= MIN_SECTION_SIZE
+        ):
+            self._section_size_f = new_size_f
+            self.section_size = new_size
+            self.num_sections <<= 1
+
+    def merge_from(self, other: "_RelativeCompactor") -> None:
+        self.buffer.extend(other.buffer)
+        # Sec 3.5: merged schedule state is the bitwise OR of the two.
+        self.state |= other.state
+        if other.num_sections > self.num_sections:
+            self.num_sections = other.num_sections
+        if other.section_size < self.section_size:
+            self.section_size = other.section_size
+            self._section_size_f = other._section_size_f
+
+
+def _trailing_ones(state: int) -> int:
+    count = 0
+    while state & 1:
+        count += 1
+        state >>= 1
+    return count
+
+
+class ReqSketch(QuantileSketch):
+    """Multiplicative rank-error sketch with configurable end bias.
+
+    Parameters
+    ----------
+    num_sections:
+        Section-size knob ``k``; the paper's experiments use 30.
+    hra:
+        High-rank accuracy.  When True (the paper's setting) compaction
+        discards from the small end, making upper-quantile estimates
+        extremely accurate at the cost of lower quantiles.
+    seed:
+        Seed for the compaction coin flips.
+    """
+
+    name = "req"
+
+    def __init__(
+        self,
+        num_sections: int = DEFAULT_NUM_SECTIONS,
+        hra: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        if num_sections < MIN_SECTION_SIZE:
+            raise InvalidValueError(
+                f"num_sections must be >= {MIN_SECTION_SIZE}, "
+                f"got {num_sections!r}"
+            )
+        if num_sections % 2 == 1:
+            num_sections += 1  # the section size must be even
+        self.num_sections = int(num_sections)
+        self.hra = bool(hra)
+        self._rng = np.random.default_rng(seed)
+        self._compactors = [_RelativeCompactor(self.num_sections, self.hra)]
+        self._retained = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if not np.isfinite(value):
+            raise InvalidValueError(f"cannot insert non-finite value {value!r}")
+        level0 = self._compactors[0]
+        level0.buffer.append(value)
+        self._retained += 1
+        self._observe(value)
+        if len(level0.buffer) >= level0.nom_capacity:
+            self._compress()
+
+    def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        if not np.isfinite(values).all():
+            raise InvalidValueError("batch contains non-finite values")
+        self._observe_batch(values)
+        pos = 0
+        while pos < values.size:
+            level0 = self._compactors[0]
+            room = max(level0.nom_capacity - len(level0.buffer), 1)
+            chunk = values[pos : pos + room]
+            level0.buffer.extend(chunk.tolist())
+            self._retained += int(chunk.size)
+            pos += int(chunk.size)
+            if len(level0.buffer) >= level0.nom_capacity:
+                self._compress()
+
+    def _compress(self) -> None:
+        height = 0
+        while height < len(self._compactors):
+            compactor = self._compactors[height]
+            if len(compactor.buffer) >= compactor.nom_capacity:
+                if height + 1 == len(self._compactors):
+                    self._compactors.append(
+                        _RelativeCompactor(self.num_sections, self.hra)
+                    )
+                promoted = compactor.compact(self._rng)
+                self._compactors[height + 1].buffer.extend(promoted)
+                self._retained -= len(promoted)
+            height += 1
+        self._retained = sum(len(c.buffer) for c in self._compactors)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _weighted_samples(self) -> tuple[np.ndarray, np.ndarray]:
+        values: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        for height, compactor in enumerate(self._compactors):
+            if not compactor.buffer:
+                continue
+            arr = np.asarray(compactor.buffer, dtype=np.float64)
+            values.append(np.sort(arr))
+            weights.append(np.full(arr.size, 1 << height, dtype=np.int64))
+        all_values = np.concatenate(values)
+        all_weights = np.concatenate(weights)
+        order = np.argsort(all_values, kind="stable")
+        return all_values[order], all_weights[order]
+
+    def quantile(self, q: float) -> float:
+        q = validate_quantile(q)
+        self._require_nonempty()
+        values, weights = self._weighted_samples()
+        cumulative = np.cumsum(weights)
+        target = math.ceil(q * cumulative[-1])
+        pos = int(np.searchsorted(cumulative, target, side="left"))
+        pos = min(pos, values.size - 1)
+        return float(values[pos])
+
+    def rank(self, value: float) -> int:
+        self._require_nonempty()
+        values, weights = self._weighted_samples()
+        pos = int(np.searchsorted(values, value, side="right"))
+        retained_rank = int(weights[:pos].sum())
+        total_weight = int(weights.sum())
+        if total_weight == 0:
+            return 0
+        return min(
+            int(round(retained_rank * self._count / total_weight)),
+            self._count,
+        )
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: QuantileSketch) -> None:
+        if not isinstance(other, ReqSketch):
+            raise IncompatibleSketchError(
+                f"cannot merge ReqSketch with {type(other).__name__}"
+            )
+        if self.hra != other.hra:
+            raise IncompatibleSketchError(
+                "cannot merge HRA and LRA ReqSketch instances"
+            )
+        while len(self._compactors) < len(other._compactors):
+            self._compactors.append(
+                _RelativeCompactor(self.num_sections, self.hra)
+            )
+        for height, compactor in enumerate(other._compactors):
+            self._compactors[height].merge_from(compactor)
+        self._merge_bookkeeping(other)
+        self._retained = sum(len(c.buffer) for c in self._compactors)
+        self._compress()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_retained(self) -> int:
+        """Total number of retained items across all compactors."""
+        return self._retained
+
+    @property
+    def num_levels(self) -> int:
+        return len(self._compactors)
+
+    def size_bytes(self) -> int:
+        # Matches the accounting behind Table 3: the Apache REQ
+        # implementation retains 4-byte float samples.
+        per_level = 4 * 8  # section size/count, state, length words
+        return (
+            4 * self._retained
+            + per_level * len(self._compactors)
+            + 4 * 8
+        )

@@ -1,0 +1,598 @@
+"""Binary serialization for every sketch in :mod:`repro.core`.
+
+Mergeability (Sec 2.4) only matters in practice if a sketch can travel:
+partitions summarise locally, ship bytes, and a coordinator merges.  This
+module provides a compact, versioned, self-describing format:
+
+    b"RPRO" | version u8 | name-length u8 | name | payload
+
+Use :func:`dumps` / :func:`loads` for any sketch; payload codecs are
+registered per class.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Callable
+
+import numpy as np
+
+from repro.core.base import QuantileSketch
+from repro.core.countsketch import CountSketch
+from repro.core.dcs import DyadicCountSketch
+from repro.core.ddsketch import DDSketch
+from repro.core.exact import ExactQuantiles
+from repro.core.gk import GKSketch, _Tuple
+from repro.core.gkarray import GKArray
+from repro.core.hdr import HdrHistogram
+from repro.core.kll import KLLSketch
+from repro.core.kllpm import KLLPlusMinus
+from repro.core.mapping import LogarithmicMapping
+from repro.core.moments import MomentsSketch
+from repro.core.random_sketch import RandomSketch, _Buffer
+from repro.core.req import ReqSketch, _RelativeCompactor
+from repro.core.store import (
+    BucketStore,
+    CollapsingLowestDenseStore,
+    DenseStore,
+    SparseStore,
+)
+from repro.core.tdigest import TDigest
+from repro.core.uddsketch import UDDSketch
+from repro.errors import SerializationError
+
+MAGIC = b"RPRO"
+VERSION = 1
+
+_TRANSFORM_CODES = {"none": 0, "log": 1, "arcsinh": 2}
+_TRANSFORM_NAMES = {code: name for name, code in _TRANSFORM_CODES.items()}
+_STORE_CODES = {"dense": 0, "collapsing": 1, "sparse": 2}
+_STORE_NAMES = {code: name for name, code in _STORE_CODES.items()}
+
+
+class _Writer:
+    """Append-only little-endian binary writer."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> None:
+        self._parts.append(struct.pack("<B", value))
+
+    def i64(self, value: int) -> None:
+        self._parts.append(struct.pack("<q", value))
+
+    def f64(self, value: float) -> None:
+        self._parts.append(struct.pack("<d", value))
+
+    def raw(self, data: bytes) -> None:
+        self._parts.append(data)
+
+    def f64_array(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype="<f8")
+        self.i64(values.size)
+        self._parts.append(values.tobytes())
+
+    def i64_array(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype="<i8")
+        self.i64(values.size)
+        self._parts.append(values.tobytes())
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    """Sequential little-endian binary reader with bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise SerializationError("truncated sketch byte-stream")
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self._take(1))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def raw(self, n: int) -> bytes:
+        return self._take(n)
+
+    def f64_array(self) -> np.ndarray:
+        size = self.i64()
+        return np.frombuffer(self._take(8 * size), dtype="<f8").copy()
+
+    def i64_array(self) -> np.ndarray:
+        size = self.i64()
+        return np.frombuffer(self._take(8 * size), dtype="<i8").copy()
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+
+# ----------------------------------------------------------------------
+# Store payloads (shared by DDSketch / UDDSketch)
+# ----------------------------------------------------------------------
+
+
+def _write_store(w: _Writer, store: BucketStore) -> None:
+    if isinstance(store, SparseStore):
+        w.u8(_STORE_CODES["sparse"])
+        indices = np.asarray(sorted(store._buckets), dtype=np.int64)
+        counts = np.asarray(
+            [store._buckets[i] for i in indices.tolist()], dtype=np.int64
+        )
+        w.i64_array(indices)
+        w.i64_array(counts)
+        return
+    if isinstance(store, CollapsingLowestDenseStore):
+        w.u8(_STORE_CODES["collapsing"])
+        w.i64(store.max_bins)
+        w.u8(1 if store.is_collapsed else 0)
+    else:
+        w.u8(_STORE_CODES["dense"])
+    w.i64(store._offset)
+    w.i64_array(store._counts)
+
+
+def _read_store(r: _Reader) -> BucketStore:
+    kind = _STORE_NAMES.get(r.u8())
+    if kind is None:
+        raise SerializationError("unknown store kind in byte-stream")
+    if kind == "sparse":
+        store = SparseStore()
+        indices = r.i64_array()
+        counts = r.i64_array()
+        for index, count in zip(indices.tolist(), counts.tolist()):
+            store.add(index, count)
+        return store
+    if kind == "collapsing":
+        max_bins = r.i64()
+        collapsed = bool(r.u8())
+        store = CollapsingLowestDenseStore(max_bins)
+        store.is_collapsed = collapsed
+    else:
+        store = DenseStore()
+    store._offset = r.i64()
+    store._counts = r.i64_array()
+    store._total = int(store._counts.sum())
+    return store
+
+
+# ----------------------------------------------------------------------
+# Per-sketch payload codecs
+# ----------------------------------------------------------------------
+
+
+def _write_common(w: _Writer, sketch: QuantileSketch) -> None:
+    w.i64(sketch._count)
+    w.f64(sketch._min)
+    w.f64(sketch._max)
+
+
+def _read_common(r: _Reader, sketch: QuantileSketch) -> None:
+    sketch._count = r.i64()
+    sketch._min = r.f64()
+    sketch._max = r.f64()
+
+
+def _encode_ddsketch(w: _Writer, sketch: DDSketch) -> None:
+    w.f64(sketch._mapping.alpha)
+    w.u8(_STORE_CODES[sketch._store_kind])
+    w.i64(sketch._max_bins)
+    w.i64(sketch._zero_count)
+    _write_common(w, sketch)
+    _write_store(w, sketch._positive)
+    _write_store(w, sketch._negative)
+
+
+def _decode_ddsketch(r: _Reader) -> DDSketch:
+    alpha = r.f64()
+    store_kind = _STORE_NAMES.get(r.u8())
+    if store_kind is None:
+        raise SerializationError("unknown DDSketch store kind")
+    max_bins = r.i64()
+    sketch = DDSketch(alpha=alpha, store=store_kind, max_bins=max_bins)
+    sketch._zero_count = r.i64()
+    _read_common(r, sketch)
+    sketch._positive = _read_store(r)
+    sketch._negative = _read_store(r)
+    return sketch
+
+
+def _encode_uddsketch(w: _Writer, sketch: UDDSketch) -> None:
+    w.f64(sketch.final_alpha)
+    w.i64(sketch.collapse_budget)
+    w.i64(sketch.max_buckets)
+    w.f64(sketch._initial_alpha)
+    w.i64(sketch._collapses)
+    w.f64(sketch._mapping.alpha)
+    w.i64(sketch._zero_count)
+    _write_common(w, sketch)
+    _write_store(w, sketch._positive)
+    _write_store(w, sketch._negative)
+
+
+def _decode_uddsketch(r: _Reader) -> UDDSketch:
+    final_alpha = r.f64()
+    collapse_budget = r.i64()
+    max_buckets = r.i64()
+    alpha0 = r.f64()
+    sketch = UDDSketch(
+        final_alpha=final_alpha,
+        num_collapses=collapse_budget,
+        max_buckets=max_buckets,
+        alpha0=alpha0,
+    )
+    sketch._collapses = r.i64()
+    sketch._mapping = LogarithmicMapping(r.f64())
+    sketch._zero_count = r.i64()
+    _read_common(r, sketch)
+    sketch._positive = _read_store(r)
+    sketch._negative = _read_store(r)
+    return sketch
+
+
+def _encode_kll(w: _Writer, sketch: KLLSketch) -> None:
+    w.i64(sketch.max_compactor_size)
+    _write_common(w, sketch)
+    w.i64(len(sketch._compactors))
+    for buffer in sketch._compactors:
+        w.f64_array(np.asarray(buffer, dtype=np.float64))
+
+
+def _decode_kll(r: _Reader) -> KLLSketch:
+    k = r.i64()
+    sketch = KLLSketch(max_compactor_size=k)
+    _read_common(r, sketch)
+    num_levels = r.i64()
+    sketch._compactors = [r.f64_array().tolist() for _ in range(num_levels)]
+    sketch._retained = sum(len(b) for b in sketch._compactors)
+    sketch._recompute_capacity()
+    return sketch
+
+
+def _encode_kllpm(w: _Writer, sketch: KLLPlusMinus) -> None:
+    w.i64(sketch.max_compactor_size)
+    _write_common(w, sketch)
+    _encode_kll(w, sketch._inserts)
+    _encode_kll(w, sketch._deletes)
+
+
+def _decode_kllpm(r: _Reader) -> KLLPlusMinus:
+    k = r.i64()
+    sketch = KLLPlusMinus(max_compactor_size=k)
+    _read_common(r, sketch)
+    sketch._inserts = _decode_kll(r)
+    sketch._deletes = _decode_kll(r)
+    return sketch
+
+
+def _encode_req(w: _Writer, sketch: ReqSketch) -> None:
+    w.i64(sketch.num_sections)
+    w.u8(1 if sketch.hra else 0)
+    _write_common(w, sketch)
+    w.i64(len(sketch._compactors))
+    for compactor in sketch._compactors:
+        w.i64(compactor.section_size)
+        w.f64(compactor._section_size_f)
+        w.i64(compactor.num_sections)
+        w.i64(compactor.state)
+        w.f64_array(np.asarray(compactor.buffer, dtype=np.float64))
+
+
+def _decode_req(r: _Reader) -> ReqSketch:
+    num_sections = r.i64()
+    hra = bool(r.u8())
+    sketch = ReqSketch(num_sections=num_sections, hra=hra)
+    _read_common(r, sketch)
+    num_levels = r.i64()
+    compactors = []
+    for _ in range(num_levels):
+        compactor = _RelativeCompactor(num_sections, hra)
+        compactor.section_size = r.i64()
+        compactor._section_size_f = r.f64()
+        compactor.num_sections = r.i64()
+        compactor.state = r.i64()
+        compactor.buffer = r.f64_array().tolist()
+        compactors.append(compactor)
+    sketch._compactors = compactors
+    sketch._retained = sum(len(c.buffer) for c in compactors)
+    return sketch
+
+
+def _encode_moments(w: _Writer, sketch: MomentsSketch) -> None:
+    w.i64(sketch.num_moments)
+    w.u8(_TRANSFORM_CODES[sketch.transform])
+    w.u8(1 if sketch.log_moments else 0)
+    _write_common(w, sketch)
+    w.f64(sketch._t_min)
+    w.f64(sketch._t_max)
+    # NaN encodes "no origin yet" (empty sketch).
+    w.f64(math.nan if sketch._origin is None else sketch._origin)
+    w.f64_array(sketch._power_sums)
+    if sketch.log_moments:
+        w.f64(sketch._l_min)
+        w.f64(sketch._l_max)
+        w.f64(
+            math.nan if sketch._log_origin is None
+            else sketch._log_origin
+        )
+        w.f64_array(sketch._log_power_sums)
+
+
+def _decode_moments(r: _Reader) -> MomentsSketch:
+    num_moments = r.i64()
+    transform = _TRANSFORM_NAMES.get(r.u8())
+    if transform is None:
+        raise SerializationError("unknown Moments Sketch transform")
+    log_moments = bool(r.u8())
+    sketch = MomentsSketch(
+        num_moments=num_moments, transform=transform,
+        log_moments=log_moments,
+    )
+    _read_common(r, sketch)
+    sketch._t_min = r.f64()
+    sketch._t_max = r.f64()
+    origin = r.f64()
+    sketch._origin = None if math.isnan(origin) else origin
+    sketch._power_sums = r.f64_array()
+    if log_moments:
+        sketch._l_min = r.f64()
+        sketch._l_max = r.f64()
+        log_origin = r.f64()
+        sketch._log_origin = (
+            None if math.isnan(log_origin) else log_origin
+        )
+        sketch._log_power_sums = r.f64_array()
+    return sketch
+
+
+def _encode_exact(w: _Writer, sketch: ExactQuantiles) -> None:
+    _write_common(w, sketch)
+    if sketch._count:
+        w.f64_array(np.concatenate(sketch._chunks))
+    else:
+        w.f64_array(np.zeros(0))
+
+
+def _decode_exact(r: _Reader) -> ExactQuantiles:
+    sketch = ExactQuantiles()
+    _read_common(r, sketch)
+    values = r.f64_array()
+    sketch._chunks = [values] if values.size else []
+    return sketch
+
+
+def _encode_tdigest(w: _Writer, sketch: TDigest) -> None:
+    sketch._flush()
+    w.f64(sketch.compression)
+    _write_common(w, sketch)
+    w.f64_array(sketch._means)
+    w.i64_array(sketch._counts)
+
+
+def _decode_tdigest(r: _Reader) -> TDigest:
+    sketch = TDigest(compression=r.f64())
+    _read_common(r, sketch)
+    sketch._means = r.f64_array()
+    sketch._counts = r.i64_array()
+    return sketch
+
+
+def _encode_gk(w: _Writer, sketch: GKSketch) -> None:
+    w.f64(sketch.epsilon)
+    _write_common(w, sketch)
+    w.i64(len(sketch._tuples))
+    for item in sketch._tuples:
+        w.f64(item.value)
+        w.i64(item.g)
+        w.i64(item.delta)
+
+
+def _decode_gk(r: _Reader) -> GKSketch:
+    sketch = GKSketch(epsilon=r.f64())
+    _read_common(r, sketch)
+    num_tuples = r.i64()
+    for _ in range(num_tuples):
+        value = r.f64()
+        g = r.i64()
+        delta = r.i64()
+        sketch._tuples.append(_Tuple(value, g, delta))
+        sketch._values.append(value)
+    return sketch
+
+
+def _encode_hdr(w: _Writer, sketch: HdrHistogram) -> None:
+    w.i64(sketch.significant_digits)
+    w.f64(sketch.highest_trackable_value)
+    _write_common(w, sketch)
+    w.i64_array(sketch._counts)
+
+
+def _decode_hdr(r: _Reader) -> HdrHistogram:
+    digits = r.i64()
+    highest = r.f64()
+    sketch = HdrHistogram(
+        significant_digits=digits, highest_trackable_value=highest
+    )
+    _read_common(r, sketch)
+    counts = r.i64_array()
+    if counts.size != sketch._counts.size:
+        raise SerializationError(
+            "HdrHistogram counts array does not match configuration"
+        )
+    sketch._counts = counts
+    return sketch
+
+
+def _encode_random(w: _Writer, sketch: RandomSketch) -> None:
+    w.i64(sketch.num_buffers)
+    w.i64(sketch.buffer_size)
+    _write_common(w, sketch)
+    w.f64_array(np.asarray(sketch._active, dtype=np.float64))
+    w.i64(len(sketch._full))
+    for buffer in sketch._full:
+        w.i64(buffer.weight)
+        w.f64_array(np.asarray(buffer.items, dtype=np.float64))
+
+
+def _decode_random(r: _Reader) -> RandomSketch:
+    sketch = RandomSketch(num_buffers=r.i64(), buffer_size=r.i64())
+    _read_common(r, sketch)
+    sketch._active = r.f64_array().tolist()
+    num_full = r.i64()
+    sketch._full = []
+    for _ in range(num_full):
+        weight = r.i64()
+        sketch._full.append(_Buffer(weight, r.f64_array().tolist()))
+    return sketch
+
+
+def _encode_dcs(w: _Writer, sketch: DyadicCountSketch) -> None:
+    w.i64(sketch.universe_log2)
+    w.i64(sketch.exact_threshold)
+    w.i64(sketch.seed)
+    _write_common(w, sketch)
+    # Count-Sketch config is shared by every sketched level.
+    sketched = [
+        s for s in sketch._levels if isinstance(s, CountSketch)
+    ]
+    w.i64(sketched[0].width if sketched else 0)
+    w.i64(sketched[0].depth if sketched else 0)
+    for structure in sketch._levels:
+        if isinstance(structure, CountSketch):
+            w.u8(1)
+            w.i64_array(structure._table.ravel())
+        else:
+            w.u8(0)
+            w.i64_array(structure)
+
+
+def _decode_dcs(r: _Reader) -> DyadicCountSketch:
+    universe_log2 = r.i64()
+    exact_threshold = r.i64()
+    seed = r.i64()
+    count = r.i64()
+    lo = r.f64()
+    hi = r.f64()
+    cs_width = r.i64()
+    cs_depth = r.i64()
+    sketch = DyadicCountSketch(
+        universe_log2=universe_log2,
+        exact_threshold=exact_threshold,
+        cs_width=cs_width or 1024,
+        cs_depth=cs_depth or 5,
+        seed=seed,
+    )
+    sketch._count = count
+    sketch._min = lo
+    sketch._max = hi
+    for level, structure in enumerate(sketch._levels):
+        kind = r.u8()
+        payload = r.i64_array()
+        if kind == 1:
+            if not isinstance(structure, CountSketch):
+                raise SerializationError(
+                    "DCS level kind does not match configuration"
+                )
+            structure._table = payload.reshape(
+                structure.depth, structure.width
+            )
+        else:
+            if payload.size != structure.size:
+                raise SerializationError(
+                    "DCS exact level size does not match configuration"
+                )
+            sketch._levels[level] = payload
+    return sketch
+
+
+def _encode_gkarray(w: _Writer, sketch: GKArray) -> None:
+    sketch._flush()
+    w.f64(sketch.epsilon)
+    w.i64(sketch.buffer_size)
+    _write_common(w, sketch)
+    w.i64(len(sketch._tuples))
+    for item in sketch._tuples:
+        w.f64(item.value)
+        w.i64(item.g)
+        w.i64(item.delta)
+
+
+def _decode_gkarray(r: _Reader) -> GKArray:
+    sketch = GKArray(epsilon=r.f64(), buffer_size=r.i64())
+    _read_common(r, sketch)
+    for _ in range(r.i64()):
+        value = r.f64()
+        g = r.i64()
+        delta = r.i64()
+        sketch._tuples.append(_Tuple(value, g, delta))
+    return sketch
+
+
+_CODECS: dict[
+    str,
+    tuple[type, Callable[[_Writer, QuantileSketch], None], Callable[[_Reader], QuantileSketch]],
+] = {
+    # UDDSketch must be checked before DDSketch (it is a subclass).
+    "uddsketch": (UDDSketch, _encode_uddsketch, _decode_uddsketch),
+    "ddsketch": (DDSketch, _encode_ddsketch, _decode_ddsketch),
+    "kll": (KLLSketch, _encode_kll, _decode_kll),
+    "req": (ReqSketch, _encode_req, _decode_req),
+    "moments": (MomentsSketch, _encode_moments, _decode_moments),
+    "exact": (ExactQuantiles, _encode_exact, _decode_exact),
+    "tdigest": (TDigest, _encode_tdigest, _decode_tdigest),
+    "gk": (GKSketch, _encode_gk, _decode_gk),
+    "gkarray": (GKArray, _encode_gkarray, _decode_gkarray),
+    "hdr": (HdrHistogram, _encode_hdr, _decode_hdr),
+    "random": (RandomSketch, _encode_random, _decode_random),
+    "dcs": (DyadicCountSketch, _encode_dcs, _decode_dcs),
+    "kllpm": (KLLPlusMinus, _encode_kllpm, _decode_kllpm),
+}
+
+
+def dumps(sketch: QuantileSketch) -> bytes:
+    """Serialize *sketch* to bytes."""
+    for name, (cls, encode, _decode) in _CODECS.items():
+        if type(sketch) is cls:
+            w = _Writer()
+            w.raw(MAGIC)
+            w.u8(VERSION)
+            name_bytes = name.encode("ascii")
+            w.u8(len(name_bytes))
+            w.raw(name_bytes)
+            encode(w, sketch)
+            return w.getvalue()
+    raise SerializationError(
+        f"no codec registered for {type(sketch).__name__}"
+    )
+
+
+def loads(data: bytes) -> QuantileSketch:
+    """Deserialize a sketch produced by :func:`dumps`."""
+    r = _Reader(data)
+    if r.raw(4) != MAGIC:
+        raise SerializationError("bad magic: not a repro sketch byte-stream")
+    version = r.u8()
+    if version != VERSION:
+        raise SerializationError(f"unsupported format version {version}")
+    name = r.raw(r.u8()).decode("ascii")
+    if name not in _CODECS:
+        raise SerializationError(f"unknown sketch name {name!r}")
+    sketch = _CODECS[name][2](r)
+    if not r.exhausted:
+        raise SerializationError("trailing bytes after sketch payload")
+    return sketch

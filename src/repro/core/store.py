@@ -1,0 +1,426 @@
+"""Bucket stores backing DDSketch and UDDSketch.
+
+A store maps integer bucket indices (produced by
+:class:`repro.core.mapping.LogarithmicMapping`) to counts.  Three
+implementations mirror the ones discussed in the paper:
+
+* :class:`DenseStore` — an unbounded contiguous array, DataDog's
+  "unbounded dense store" used for the paper's DDSketch accuracy results.
+* :class:`CollapsingLowestDenseStore` — a dense store capped at
+  ``max_bins`` buckets that collapses the lowest-indexed buckets when it
+  runs out of room (the bounded DDSketch variant of Sec 3.3).
+* :class:`SparseStore` — a hash-map store holding three numbers per
+  bucket, mirroring the map-based UDDSketch implementation whose higher
+  memory and iteration costs the paper's Sec 4.3/4.4 analysis discusses.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import EmptySketchError, InvalidValueError
+
+#: Dense stores grow in chunks of this many buckets (the paper notes the
+#: unbounded dense store starts at 64 buckets).
+CHUNK_SIZE = 64
+
+
+class BucketStore(abc.ABC):
+    """Mapping from bucket index to count, ordered by index."""
+
+    @abc.abstractmethod
+    def add(self, index: int, count: int = 1) -> None:
+        """Add *count* occurrences to bucket *index*."""
+
+    @abc.abstractmethod
+    def add_batch(self, indices: np.ndarray) -> None:
+        """Add one occurrence for every index in *indices*."""
+
+    @abc.abstractmethod
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(index, count)`` pairs for non-empty buckets, ascending."""
+
+    @abc.abstractmethod
+    def merge(self, other: "BucketStore") -> None:
+        """Add every bucket of *other* into this store."""
+
+    @abc.abstractmethod
+    def key_at_rank(self, rank: float) -> int:
+        """Index of the bucket containing the item of 0-based *rank*.
+
+        Buckets are consumed lowest-index first, matching the cumulative
+        walk of Sec 3.3: the returned bucket ``b`` is the first for which
+        ``sum(counts up to b) > rank``.
+        """
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Bytes of numeric payload retained (8 bytes per number)."""
+
+    @abc.abstractmethod
+    def copy(self) -> "BucketStore":
+        """Deep copy of the store."""
+
+    @property
+    @abc.abstractmethod
+    def total(self) -> int:
+        """Sum of all bucket counts."""
+
+    @property
+    @abc.abstractmethod
+    def num_buckets(self) -> int:
+        """Number of non-empty buckets."""
+
+    @property
+    def is_empty(self) -> bool:
+        return self.total == 0
+
+    @property
+    @abc.abstractmethod
+    def min_index(self) -> int:
+        """Lowest non-empty bucket index."""
+
+    @property
+    @abc.abstractmethod
+    def max_index(self) -> int:
+        """Highest non-empty bucket index."""
+
+    def _require_nonempty(self) -> None:
+        if self.is_empty:
+            raise EmptySketchError(f"{type(self).__name__} is empty")
+
+
+class DenseStore(BucketStore):
+    """Unbounded contiguous-array store.
+
+    Keeps a numpy ``int64`` array of counts plus the index of its first
+    slot; the array grows in :data:`CHUNK_SIZE` steps as the observed
+    index range widens.  All hot paths (batch add, rank walk, merge) are
+    vectorised.
+    """
+
+    def __init__(self) -> None:
+        self._counts = np.zeros(0, dtype=np.int64)
+        self._offset = 0
+        self._total = 0
+
+    # -- ingestion ------------------------------------------------------
+
+    def add(self, index: int, count: int = 1) -> None:
+        if count < 0:
+            raise InvalidValueError(f"count must be >= 0, got {count!r}")
+        if count == 0:
+            return
+        pos = self._normalize(index)
+        self._counts[pos] += count
+        self._total += count
+
+    def add_batch(self, indices: np.ndarray) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return
+        lo = int(indices.min())
+        hi = int(indices.max())
+        self._extend_range(lo, hi)
+        # After extension every index has a slot; bincount aggregates in C.
+        shifted = indices - self._offset
+        self._counts[: shifted.max() + 1] += np.bincount(
+            shifted, minlength=int(shifted.max()) + 1
+        )
+        self._total += int(indices.size)
+
+    def _normalize(self, index: int) -> int:
+        """Ensure a slot exists for *index* and return its array position."""
+        if (
+            self._counts.size == 0
+            or index < self._offset
+            or index >= self._offset + self._counts.size
+        ):
+            self._extend_range(index, index)
+        return index - self._offset
+
+    def _extend_range(self, lo: int, hi: int) -> None:
+        """Grow the backing array to cover ``[lo, hi]``."""
+        if self._counts.size == 0:
+            size = self._round_up(hi - lo + 1)
+            self._counts = np.zeros(size, dtype=np.int64)
+            self._offset = lo
+            return
+        new_lo = min(lo, self._offset)
+        new_hi = max(hi, self._offset + self._counts.size - 1)
+        if new_lo == self._offset and new_hi < self._offset + self._counts.size:
+            return
+        size = self._round_up(new_hi - new_lo + 1)
+        counts = np.zeros(size, dtype=np.int64)
+        shift = self._offset - new_lo
+        counts[shift : shift + self._counts.size] = self._counts
+        self._counts = counts
+        self._offset = new_lo
+
+    @staticmethod
+    def _round_up(size: int) -> int:
+        return ((size + CHUNK_SIZE - 1) // CHUNK_SIZE) * CHUNK_SIZE
+
+    # -- queries --------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        nonzero = np.nonzero(self._counts)[0]
+        for pos in nonzero:
+            yield int(pos) + self._offset, int(self._counts[pos])
+
+    def key_at_rank(self, rank: float) -> int:
+        self._require_nonempty()
+        cumulative = np.cumsum(self._counts)
+        pos = int(np.searchsorted(cumulative, rank, side="right"))
+        pos = min(pos, self._counts.size - 1)
+        return pos + self._offset
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def num_buckets(self) -> int:
+        return int(np.count_nonzero(self._counts))
+
+    @property
+    def min_index(self) -> int:
+        self._require_nonempty()
+        return int(np.nonzero(self._counts)[0][0]) + self._offset
+
+    @property
+    def max_index(self) -> int:
+        self._require_nonempty()
+        return int(np.nonzero(self._counts)[0][-1]) + self._offset
+
+    # -- maintenance ----------------------------------------------------
+
+    def merge(self, other: BucketStore) -> None:
+        if other.is_empty:
+            return
+        if isinstance(other, DenseStore):
+            lo_index = other.min_index
+            hi_index = other.max_index
+            self._extend_range(lo_index, hi_index)
+            # A collapsing store may refuse to extend below its floor;
+            # fold that part of *other* into the floor bucket.
+            if lo_index < self._offset:
+                src_lo = lo_index - other._offset
+                src_hi = self._offset - other._offset
+                self._counts[0] += other._counts[src_lo:src_hi].sum()
+                lo_index = self._offset
+            src_lo = lo_index - other._offset
+            src_hi = hi_index - other._offset + 1
+            dst_lo = lo_index - self._offset
+            self._counts[dst_lo : dst_lo + (src_hi - src_lo)] += (
+                other._counts[src_lo:src_hi]
+            )
+            self._total += other._total
+        else:
+            for index, count in other.items():
+                self.add(index, count)
+
+    def copy(self) -> "DenseStore":
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone._counts = self._counts.copy()
+        return clone
+
+    def size_bytes(self) -> int:
+        # The count array plus offset/total bookkeeping words.
+        return 8 * self._counts.size + 2 * 8
+
+
+class CollapsingLowestDenseStore(DenseStore):
+    """Dense store bounded at *max_bins* buckets.
+
+    When the observed index range exceeds the budget the lowest buckets
+    are folded into the lowest retained bucket, trading away accuracy of
+    the lower quantiles exactly as the bounded DDSketch variant described
+    in Sec 3.3 does.
+    """
+
+    def __init__(self, max_bins: int) -> None:
+        if max_bins < 1:
+            raise InvalidValueError(f"max_bins must be >= 1, got {max_bins!r}")
+        super().__init__()
+        self.max_bins = int(max_bins)
+        self.is_collapsed = False
+
+    def _extend_range(self, lo: int, hi: int) -> None:
+        if self.is_collapsed:
+            # Never re-open room below the collapse floor.
+            lo = max(lo, self._offset)
+            hi = max(hi, lo)
+        if self._total == 0:
+            size = min(self._round_up(hi - lo + 1), self.max_bins)
+            self._counts = np.zeros(size, dtype=np.int64)
+            if hi - lo + 1 > size:
+                # Anchor so the requested range's top fits.
+                self._offset = hi - size + 1
+                self.is_collapsed = True
+            else:
+                self._offset = lo
+            return
+        # The span that matters is the requested range united with the
+        # *non-empty* buckets — not the allocated array edges, whose
+        # round-up slack would otherwise inflate it.
+        new_lo = min(lo, self.min_index)
+        new_hi = max(hi, self.max_index)
+        span = new_hi - new_lo + 1
+        if span <= self.max_bins:
+            if (
+                new_lo >= self._offset
+                and new_hi < self._offset + self._counts.size
+            ):
+                return  # already covered
+            size = min(self._round_up(span), self.max_bins)
+            counts = np.zeros(size, dtype=np.int64)
+            src_lo = self.min_index - self._offset
+            src_hi = self.max_index - self._offset + 1
+            dst_lo = self.min_index - new_lo
+            counts[dst_lo : dst_lo + (src_hi - src_lo)] = (
+                self._counts[src_lo:src_hi]
+            )
+            self._counts = counts
+            self._offset = new_lo
+            return
+        # Budget exhausted: keep the top max_bins indices and collapse
+        # everything below into the new lowest bucket.
+        keep_lo = new_hi - self.max_bins + 1
+        counts = np.zeros(self.max_bins, dtype=np.int64)
+        for index, count in self.items():
+            target = max(index, keep_lo)
+            counts[target - keep_lo] += count
+        self._counts = counts
+        self._offset = keep_lo
+        self.is_collapsed = True
+
+    def _normalize(self, index: int) -> int:
+        pos = super()._normalize(index)
+        if pos < 0:  # below the collapsed floor: fold into lowest bucket
+            return 0
+        return pos
+
+    def add(self, index: int, count: int = 1) -> None:
+        if count < 0:
+            raise InvalidValueError(f"count must be >= 0, got {count!r}")
+        if count == 0:
+            return
+        if (
+            self.is_collapsed
+            and self._counts.size
+            and index < self._offset
+        ):
+            self._counts[0] += count
+            self._total += count
+            return
+        super().add(index, count)
+
+    def add_batch(self, indices: np.ndarray) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return
+        self._extend_range(int(indices.min()), int(indices.max()))
+        clipped = np.maximum(indices - self._offset, 0)
+        self._counts[: clipped.max() + 1] += np.bincount(
+            clipped, minlength=int(clipped.max()) + 1
+        )
+        self._total += int(indices.size)
+
+    def size_bytes(self) -> int:
+        return super().size_bytes() + 8  # max_bins word
+
+
+class SparseStore(BucketStore):
+    """Hash-map store: three numbers (map slot, index, count) per bucket.
+
+    Mirrors the map-based UDDSketch implementation the paper evaluates;
+    its per-bucket overhead is why UDDSketch tops Table 3 and why its
+    iteration-heavy merge is the slowest in Fig 5c.
+    """
+
+    BYTES_PER_BUCKET = 24
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = {}
+        self._total = 0
+
+    def add(self, index: int, count: int = 1) -> None:
+        if count < 0:
+            raise InvalidValueError(f"count must be >= 0, got {count!r}")
+        if count == 0:
+            return
+        self._buckets[index] = self._buckets.get(index, 0) + count
+        self._total += count
+
+    def add_batch(self, indices: np.ndarray) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return
+        unique, counts = np.unique(indices, return_counts=True)
+        for index, count in zip(unique.tolist(), counts.tolist()):
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._total += int(indices.size)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        for index in sorted(self._buckets):
+            yield index, self._buckets[index]
+
+    def key_at_rank(self, rank: float) -> int:
+        self._require_nonempty()
+        cumulative = 0
+        last = 0
+        for index, count in self.items():
+            cumulative += count
+            last = index
+            if cumulative > rank:
+                return index
+        return last
+
+    def merge(self, other: BucketStore) -> None:
+        for index, count in other.items():
+            self.add(index, count)
+
+    def uniform_collapse(self) -> None:
+        """Fold every adjacent bucket pair ``(2j-1, 2j) -> j``.
+
+        This is UDDSketch's uniform collapse: the new index of bucket
+        ``i`` is ``ceil(i / 2)``, consistent with squaring gamma in the
+        value mapping (Sec 3.4).
+        """
+        collapsed: dict[int, int] = {}
+        for index, count in self._buckets.items():
+            new_index = (index + 1) // 2  # == ceil(index / 2) for ints
+            collapsed[new_index] = collapsed.get(new_index, 0) + count
+        self._buckets = collapsed
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def min_index(self) -> int:
+        self._require_nonempty()
+        return min(self._buckets)
+
+    @property
+    def max_index(self) -> int:
+        self._require_nonempty()
+        return max(self._buckets)
+
+    def copy(self) -> "SparseStore":
+        clone = SparseStore()
+        clone._buckets = dict(self._buckets)
+        clone._total = self._total
+        return clone
+
+    def size_bytes(self) -> int:
+        return self.BYTES_PER_BUCKET * len(self._buckets) + 8

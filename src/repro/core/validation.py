@@ -1,0 +1,218 @@
+"""Conformance checking for quantile-sketch implementations.
+
+:func:`check_conformance` runs a battery of black-box checks against
+any :class:`~repro.core.base.QuantileSketch` factory — the contract
+every sketch in this library honours and that a downstream user adding
+their own sketch should verify:
+
+* basic bookkeeping (count, min/max, empty-sketch errors);
+* quantile sanity (monotone in q, inside the observed range);
+* a configurable accuracy budget against exact quantiles;
+* merge-equals-concatenation within the same budget;
+* serialization round-trip (skipped when the sketch has no codec).
+
+Returns a :class:`ConformanceReport` listing each check's outcome
+rather than raising, so callers can assert on ``report.ok`` or inspect
+individual failures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.base import QuantileSketch
+from repro.errors import EmptySketchError, ReproError, SerializationError
+
+DEFAULT_QUANTILES = (0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99)
+
+
+@dataclass
+class CheckOutcome:
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"[{status}] {self.name}{suffix}"
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of every conformance check."""
+
+    checks: list[CheckOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> list[CheckOutcome]:
+        return [check for check in self.checks if not check.passed]
+
+    def __str__(self) -> str:
+        return "\n".join(str(check) for check in self.checks)
+
+
+def _exact_quantile(sorted_values: np.ndarray, q: float) -> float:
+    rank = max(math.ceil(q * sorted_values.size), 1)
+    return float(sorted_values[rank - 1])
+
+
+def check_conformance(
+    factory: Callable[[], QuantileSketch],
+    n: int = 20_000,
+    seed: int = 0,
+    rank_error_budget: float = 0.05,
+    value_range: tuple[float, float] = (1.0, 1_000.0),
+    skip: set[str] | frozenset[str] = frozenset(),
+) -> ConformanceReport:
+    """Run the conformance battery against *factory*'s sketches.
+
+    *rank_error_budget* is the additive rank error allowed at every
+    checked quantile (sketches with relative-error guarantees pass far
+    inside it); *value_range* bounds the uniform test stream, letting
+    domain-restricted sketches (e.g. a bounded-universe DCS) be tested
+    inside their domain.  *skip* names checks to leave out for sketches
+    that deviate from the contract by design (e.g. DCS floors values,
+    so its min/max reflect the floored stream).
+    """
+    report = ConformanceReport()
+    rng = np.random.default_rng(seed)
+    lo, hi = value_range
+    data = rng.uniform(lo, hi, n)
+    sorted_data = np.sort(data)
+
+    def record(name: str, fn: Callable[[], str | None]) -> None:
+        if name in skip:
+            return
+        try:
+            detail = fn()
+        except ReproError as error:
+            report.checks.append(
+                CheckOutcome(name, False, f"{type(error).__name__}: {error}")
+            )
+        except Exception as error:  # noqa: BLE001 - black-box probe
+            report.checks.append(
+                CheckOutcome(
+                    name, False,
+                    f"unexpected {type(error).__name__}: {error}",
+                )
+            )
+        else:
+            report.checks.append(CheckOutcome(name, True, detail or ""))
+
+    def empty_behaviour() -> None:
+        sketch = factory()
+        if not sketch.is_empty or sketch.count != 0:
+            raise AssertionError("fresh sketch is not empty")
+        try:
+            sketch.quantile(0.5)
+        except EmptySketchError:
+            return
+        raise AssertionError("empty quantile() did not raise")
+
+    record("empty-sketch behaviour", empty_behaviour)
+
+    sketch = factory()
+    sketch.update_batch(data)
+
+    def bookkeeping() -> str:
+        if sketch.count != n:
+            raise AssertionError(
+                f"count {sketch.count} != stream length {n}"
+            )
+        if sketch.min != sorted_data[0] or sketch.max != sorted_data[-1]:
+            raise AssertionError("min/max do not match the stream")
+        return f"count={sketch.count}"
+
+    record("count/min/max bookkeeping", bookkeeping)
+
+    def monotone() -> None:
+        estimates = sketch.quantiles(np.linspace(0.01, 1.0, 25))
+        if any(
+            a > b + 1e-9 for a, b in zip(estimates, estimates[1:])
+        ):
+            raise AssertionError("quantile estimates not monotone in q")
+
+    record("quantiles monotone", monotone)
+
+    def in_range() -> None:
+        for q in (0.001, 0.5, 1.0):
+            estimate = sketch.quantile(q)
+            if not sorted_data[0] <= estimate <= sorted_data[-1]:
+                raise AssertionError(
+                    f"q={q} estimate {estimate} outside observed range"
+                )
+
+    record("estimates within observed range", in_range)
+
+    def accuracy() -> str:
+        worst = 0.0
+        for q in DEFAULT_QUANTILES:
+            estimate = sketch.quantile(q)
+            realised = np.searchsorted(
+                sorted_data, estimate, side="right"
+            ) / n
+            worst = max(worst, abs(realised - q))
+        if worst > rank_error_budget:
+            raise AssertionError(
+                f"rank error {worst:.4f} exceeds budget "
+                f"{rank_error_budget}"
+            )
+        return f"worst rank error {worst:.4f}"
+
+    record("accuracy budget", accuracy)
+
+    def merge_consistency() -> str:
+        half = n // 2
+        left = factory()
+        right = factory()
+        left.update_batch(data[:half])
+        right.update_batch(data[half:])
+        left.merge(right)
+        if left.count != n:
+            raise AssertionError("merged count wrong")
+        worst = 0.0
+        for q in DEFAULT_QUANTILES:
+            estimate = left.quantile(q)
+            realised = np.searchsorted(
+                sorted_data, estimate, side="right"
+            ) / n
+            worst = max(worst, abs(realised - q))
+        if worst > 2 * rank_error_budget:
+            raise AssertionError(
+                f"merged rank error {worst:.4f} exceeds merge budget"
+            )
+        return f"worst merged rank error {worst:.4f}"
+
+    record("merge equals concatenation", merge_consistency)
+
+    def serialization() -> str:
+        from repro.core.serialization import dumps, loads
+
+        try:
+            payload = dumps(sketch)
+        except SerializationError:
+            return "no codec registered (skipped)"
+        restored = loads(payload)
+        if restored.count != sketch.count:
+            raise AssertionError("round-trip lost the count")
+        for q in (0.25, 0.5, 0.9):
+            if not math.isclose(
+                restored.quantile(q), sketch.quantile(q),
+                rel_tol=1e-9,
+            ):
+                raise AssertionError(
+                    f"round-trip changed the q={q} estimate"
+                )
+        return f"{len(payload)} bytes"
+
+    record("serialization round-trip", serialization)
+    return report

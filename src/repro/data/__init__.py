@@ -1,0 +1,63 @@
+"""Workload generators: the paper's synthetic distributions, synthetic
+stand-ins for its real-world data sets, the kurtosis suite, and
+timestamped stream generation."""
+
+from repro.data.distributions import (
+    Binomial,
+    Concatenation,
+    Distribution,
+    DriftingPareto,
+    DriftingUniform,
+    Exponential,
+    Gamma,
+    Lognormal,
+    Normal,
+    Pareto,
+    Uniform,
+    Zipf,
+    adaptability_workload,
+)
+from repro.data.io import load_batch, save_batch
+from repro.data.kurtosis import excess_kurtosis, kurtosis_suite
+from repro.data.realworld import NYTFares, PowerConsumption
+from repro.data.streams import (
+    DEFAULT_DELAY_MEAN_MS,
+    DEFAULT_RATE_PER_SEC,
+    EventBatch,
+    generate_stream,
+)
+
+#: The four accuracy data sets of Sec 4.1, by paper name.
+ACCURACY_DATASETS = {
+    "pareto": DriftingPareto,
+    "uniform": DriftingUniform,
+    "nyt": NYTFares,
+    "power": PowerConsumption,
+}
+
+__all__ = [
+    "Distribution",
+    "Pareto",
+    "Uniform",
+    "Binomial",
+    "Zipf",
+    "Exponential",
+    "Gamma",
+    "Normal",
+    "Lognormal",
+    "DriftingPareto",
+    "DriftingUniform",
+    "Concatenation",
+    "adaptability_workload",
+    "NYTFares",
+    "PowerConsumption",
+    "excess_kurtosis",
+    "kurtosis_suite",
+    "EventBatch",
+    "generate_stream",
+    "save_batch",
+    "load_batch",
+    "DEFAULT_RATE_PER_SEC",
+    "DEFAULT_DELAY_MEAN_MS",
+    "ACCURACY_DATASETS",
+]

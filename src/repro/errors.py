@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can guard a whole pipeline with a single
+``except ReproError`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SketchError(ReproError):
+    """Base class for errors raised by quantile sketches."""
+
+
+class EmptySketchError(SketchError):
+    """A query was issued against a sketch that has seen no data."""
+
+
+class InvalidQuantileError(SketchError):
+    """A quantile outside the half-open interval (0, 1] was requested."""
+
+    def __init__(self, q: float) -> None:
+        super().__init__(f"quantile must be in (0, 1], got {q!r}")
+        self.q = q
+
+
+class InvalidValueError(SketchError):
+    """A value outside the domain supported by the sketch was inserted."""
+
+
+class IncompatibleSketchError(SketchError):
+    """Two sketches with incompatible configurations were merged."""
+
+
+class InsufficientDataError(SketchError):
+    """The sketch has seen too little data to answer the query.
+
+    Moments Sketch requires a minimum cardinality of five distinct values
+    before its maximum-entropy solver is well posed (Sec 3.2 of the paper).
+    """
+
+
+class SolverError(SketchError):
+    """The maximum-entropy solver failed to converge."""
+
+
+class SerializationError(ReproError):
+    """A sketch byte-stream could not be decoded."""
+
+
+class StreamingError(ReproError):
+    """Base class for errors raised by the streaming engine."""
+
+
+class PipelineError(StreamingError):
+    """A pipeline was mis-assembled (e.g. window without an aggregator)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

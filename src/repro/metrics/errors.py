@@ -1,0 +1,107 @@
+"""Error measures for quantile estimates (Sec 2.2 of the paper).
+
+Two notions of error are compared throughout the paper:
+
+* **rank error** — how far the estimate's position in the sorted data is
+  from the requested quantile, as a fraction of the data size; and
+* **relative error** — how far the estimated *value* is from the true
+  quantile value, as a fraction of the true value.
+
+The paper evaluates relative error because it reflects the actual
+magnitude of a mistake at the tail of long-tailed data (its Fig 1
+example: a 3% rank error near the median is benign, the same rank error
+at the 0.95 quantile is a large value error).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InvalidValueError
+
+
+def relative_error(true_value: float, estimate: float) -> float:
+    """``|x_q - x̂_q| / |x_q|`` — the paper's headline accuracy metric.
+
+    Defined for a non-zero true value; a zero true value with a non-zero
+    estimate has no meaningful relative error and raises.
+    """
+    if not math.isfinite(true_value) or not math.isfinite(estimate):
+        raise InvalidValueError(
+            f"relative error needs finite inputs, got "
+            f"{true_value!r}/{estimate!r}"
+        )
+    if true_value == 0.0:
+        if estimate == 0.0:
+            return 0.0
+        raise InvalidValueError(
+            "relative error is undefined for a zero true value"
+        )
+    return abs(true_value - estimate) / abs(true_value)
+
+
+def rank_error(
+    sorted_data: np.ndarray, q: float, estimate: float
+) -> float:
+    """``|q - Rank(x̂_q) / N|`` against the true sorted data.
+
+    ``Rank(x)`` counts items ``<= x`` (Sec 2.1), so the error is the
+    distance between the requested quantile and the quantile the
+    estimate actually sits at.
+    """
+    sorted_data = np.asarray(sorted_data)
+    if sorted_data.size == 0:
+        raise InvalidValueError("rank error needs a non-empty data set")
+    if not 0.0 < q <= 1.0:
+        raise InvalidValueError(f"quantile must be in (0, 1], got {q!r}")
+    rank = int(np.searchsorted(sorted_data, estimate, side="right"))
+    return abs(q - rank / sorted_data.size)
+
+
+def true_quantile(sorted_data: np.ndarray, q: float) -> float:
+    """Exact q-quantile: the item of rank ``ceil(q * N)`` (Sec 2.1)."""
+    sorted_data = np.asarray(sorted_data)
+    if sorted_data.size == 0:
+        raise InvalidValueError("true quantile needs a non-empty data set")
+    if not 0.0 < q <= 1.0:
+        raise InvalidValueError(f"quantile must be in (0, 1], got {q!r}")
+    rank = max(math.ceil(q * sorted_data.size), 1)
+    return float(sorted_data[rank - 1])
+
+
+#: The quantiles the paper queries in every accuracy experiment.
+PAPER_QUANTILES = (0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.98, 0.99)
+
+#: Grouping used in Fig 6: mid quantiles, upper quantiles, and the
+#: separately-reported 0.99 (Sec 4.2).
+MID_QUANTILES = (0.05, 0.25, 0.5, 0.75, 0.9)
+UPPER_QUANTILES = (0.95, 0.98)
+P99_QUANTILE = 0.99
+
+
+def grouped_errors(
+    errors_by_quantile: dict[float, float]
+) -> dict[str, float]:
+    """Average per-quantile errors into the paper's mid/upper/p99 groups.
+
+    Missing quantiles are simply left out of their group's mean; a group
+    with no members is omitted from the result.
+    """
+    groups: dict[str, float] = {}
+    mid = [
+        errors_by_quantile[q] for q in MID_QUANTILES
+        if q in errors_by_quantile
+    ]
+    upper = [
+        errors_by_quantile[q] for q in UPPER_QUANTILES
+        if q in errors_by_quantile
+    ]
+    if mid:
+        groups["mid"] = float(np.mean(mid))
+    if upper:
+        groups["upper"] = float(np.mean(upper))
+    if P99_QUANTILE in errors_by_quantile:
+        groups["p99"] = errors_by_quantile[P99_QUANTILE]
+    return groups

@@ -1,0 +1,29 @@
+"""Memory accounting for sketches (the Table 3 measurement).
+
+Sketch footprints are reported through each sketch's ``size_bytes()``,
+which counts the numeric payload the data structure retains (8 bytes per
+double/long, 4 bytes per float sample where the reference implementation
+stores floats).  This matches the paper's Sec 4.3 analysis, which counts
+"the numerical size of each of the sketches" rather than language-level
+object overhead — the figure that is comparable across Java and Python.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import QuantileSketch
+
+
+def sketch_size_kb(sketch: QuantileSketch) -> float:
+    """Footprint of *sketch* in kilobytes, Table 3 style."""
+    return sketch.size_bytes() / 1000.0
+
+
+def compression_ratio(sketch: QuantileSketch) -> float:
+    """How many times smaller the sketch is than the raw stream.
+
+    The raw stream is ``count`` doubles; an empty sketch has ratio 0.
+    """
+    if sketch.count == 0:
+        return 0.0
+    raw_bytes = 8 * sketch.count
+    return raw_bytes / sketch.size_bytes()

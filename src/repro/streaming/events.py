@@ -1,0 +1,59 @@
+"""Event model for the streaming engine.
+
+An event carries a measurement plus two timestamps: the *event time*
+assigned at the source and the *arrival time* at the stream processor
+(event time plus network delay, Sec 2.5).  The engine always processes
+events in arrival order and windows them by event time, which is what
+makes late arrivals possible (Sec 2.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from repro.data.streams import EventBatch
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A single stream record.
+
+    Attributes
+    ----------
+    value:
+        The measurement (e.g. a taxi fare or a power reading).
+    event_time:
+        Generation timestamp at the source, in ms.
+    arrival_time:
+        Ingestion timestamp at the engine, in ms; never earlier than
+        ``event_time``.
+    key:
+        Optional partitioning key for keyed streams.
+    """
+
+    value: float
+    event_time: float
+    arrival_time: float
+    key: Hashable = None
+
+    @property
+    def network_delay(self) -> float:
+        """Delay between generation and ingestion, in ms."""
+        return self.arrival_time - self.event_time
+
+    def with_key(self, key: Hashable) -> "Event":
+        return Event(self.value, self.event_time, self.arrival_time, key)
+
+
+def events_from_batch(
+    batch: EventBatch, key: Hashable = None
+) -> Iterator[Event]:
+    """Yield :class:`Event` objects from a column batch, arrival-ordered."""
+    ordered = batch.in_arrival_order()
+    for value, event_time, arrival_time in zip(
+        ordered.values, ordered.event_times, ordered.arrival_times
+    ):
+        yield Event(
+            float(value), float(event_time), float(arrival_time), key
+        )

@@ -1,0 +1,135 @@
+"""Continuously-queryable sliding-window quantiles.
+
+The engine answers "what was the p99 of each *completed* window?";
+monitoring systems also need "what is the p99 over the *last N
+seconds*, right now?".  :class:`SlidingWindowSketch` provides that by
+composing mergeable sketches over a ring of time panes:
+
+* each incoming value lands in the pane covering its timestamp;
+* a query merges the panes inside the lookback horizon into a
+  throwaway sketch and answers from it;
+* panes older than the horizon are evicted as time advances.
+
+Memory is ``O(num_panes)`` sketches regardless of stream rate, and the
+error guarantee of the underlying sketch is preserved because the
+query path only uses ``merge`` — this is exactly the mergeability
+application of Sec 2.4, pointed at time instead of machines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.core.base import QuantileSketch
+from repro.errors import EmptySketchError, InvalidValueError
+
+
+class SlidingWindowSketch:
+    """Quantiles over the trailing *window_ms* of an event-time stream.
+
+    Parameters
+    ----------
+    sketch_factory:
+        Builds the empty per-pane sketches (e.g. ``DDSketch``).
+    window_ms:
+        Lookback horizon of queries.
+    num_panes:
+        Ring resolution: the effective window edge is quantised to
+        ``window_ms / num_panes``; more panes = sharper eviction,
+        more merge work per query.
+    """
+
+    def __init__(
+        self,
+        sketch_factory: Callable[[], QuantileSketch],
+        window_ms: float,
+        num_panes: int = 12,
+    ) -> None:
+        if window_ms <= 0:
+            raise InvalidValueError(
+                f"window_ms must be positive, got {window_ms!r}"
+            )
+        if num_panes < 1:
+            raise InvalidValueError(
+                f"num_panes must be >= 1, got {num_panes!r}"
+            )
+        self._factory = sketch_factory
+        self.window_ms = float(window_ms)
+        self.num_panes = int(num_panes)
+        self.pane_ms = self.window_ms / self.num_panes
+        self._panes: dict[int, QuantileSketch] = {}
+        self._latest_time = -math.inf
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def record(self, value: float, timestamp_ms: float) -> None:
+        """Record *value* observed at *timestamp_ms*.
+
+        Timestamps may arrive modestly out of order; values older than
+        the horizon (relative to the newest timestamp seen) are
+        silently ignored, matching the query's visibility.
+        """
+        timestamp_ms = float(timestamp_ms)
+        if timestamp_ms > self._latest_time:
+            self._latest_time = timestamp_ms
+            self._evict()
+        if timestamp_ms <= self._latest_time - self.window_ms:
+            return  # older than any query could see
+        pane_id = int(math.floor(timestamp_ms / self.pane_ms))
+        pane = self._panes.get(pane_id)
+        if pane is None:
+            pane = self._factory()
+            self._panes[pane_id] = pane
+        pane.update(value)
+
+    def _evict(self) -> None:
+        horizon = self._latest_time - self.window_ms
+        cutoff = int(math.floor(horizon / self.pane_ms))
+        stale = [pane_id for pane_id in self._panes if pane_id < cutoff]
+        for pane_id in stale:
+            del self._panes[pane_id]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _merged(self) -> QuantileSketch:
+        if not self._panes:
+            raise EmptySketchError(
+                "no events inside the sliding window"
+            )
+        merged = self._factory()
+        horizon = self._latest_time - self.window_ms
+        cutoff = int(math.floor(horizon / self.pane_ms))
+        for pane_id, pane in self._panes.items():
+            if pane_id >= cutoff and not pane.is_empty:
+                merged.merge(pane)
+        if merged.is_empty:
+            raise EmptySketchError(
+                "no events inside the sliding window"
+            )
+        return merged
+
+    def quantile(self, q: float) -> float:
+        """Quantile estimate over the current lookback window."""
+        return self._merged().quantile(q)
+
+    def quantiles(self, qs) -> list[float]:
+        """Batch quantile query over the current lookback window."""
+        return self._merged().quantiles(qs)
+
+    @property
+    def count(self) -> int:
+        """Events currently inside the (pane-quantised) window."""
+        return sum(pane.count for pane in self._panes.values())
+
+    @property
+    def num_active_panes(self) -> int:
+        return sum(1 for pane in self._panes.values() if not pane.is_empty)
+
+    def size_bytes(self) -> int:
+        """Total footprint of the pane ring."""
+        return sum(pane.size_bytes() for pane in self._panes.values())

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SCALES
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests needing other seeds build their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def pareto_data(rng) -> np.ndarray:
+    """50k samples of the paper's speed-test distribution Pareto(1, 1)."""
+    return 1.0 + rng.pareto(1.0, 50_000)
+
+
+@pytest.fixture
+def uniform_data(rng) -> np.ndarray:
+    """50k samples of U(30, 100) (the merge-workload uniform)."""
+    return rng.uniform(30.0, 100.0, 50_000)
+
+
+@pytest.fixture
+def smoke_scale():
+    """The CI-sized experiment scale."""
+    return SCALES["smoke"]
+
+
+def true_quantiles(values: np.ndarray, qs) -> dict[float, float]:
+    """Exact rank-definition quantiles of *values* for each q."""
+    import math
+
+    s = np.sort(values)
+    return {
+        q: float(s[max(math.ceil(q * s.size), 1) - 1]) for q in qs
+    }

@@ -1,0 +1,93 @@
+"""Unit tests for the QuantileSketch base interface."""
+
+import numpy as np
+import pytest
+
+from repro.core import DDSketch, KLLSketch, make_sketch
+from repro.core.base import validate_quantile
+from repro.core.registry import SKETCH_CLASSES
+from repro.errors import EmptySketchError, InvalidQuantileError
+
+ALL_NAMES = sorted(SKETCH_CLASSES)
+
+
+class TestValidateQuantile:
+    def test_accepts_half_open_interval(self):
+        assert validate_quantile(1.0) == 1.0
+        assert validate_quantile(0.5) == 0.5
+        assert validate_quantile(1e-9) == 1e-9
+
+    def test_rejects_out_of_range(self):
+        for q in (0.0, -0.5, 1.0001, 2.0):
+            with pytest.raises(InvalidQuantileError):
+                validate_quantile(q)
+
+    def test_error_carries_value(self):
+        with pytest.raises(InvalidQuantileError) as excinfo:
+            validate_quantile(1.5)
+        assert excinfo.value.q == 1.5
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestCommonInterface:
+    def test_len_and_count(self, name, rng):
+        sketch = make_sketch(name)
+        assert len(sketch) == 0
+        sketch.update_batch(rng.uniform(1, 2, 100))
+        assert len(sketch) == 100
+        assert sketch.count == 100
+
+    def test_min_max(self, name):
+        sketch = make_sketch(name)
+        sketch.update_batch([5.0, 1.0, 9.0])
+        assert sketch.min == 1.0
+        assert sketch.max == 9.0
+
+    def test_empty_queries_raise(self, name):
+        sketch = make_sketch(name)
+        with pytest.raises(EmptySketchError):
+            sketch.quantile(0.5)
+        with pytest.raises(EmptySketchError):
+            sketch.rank(1.0)
+        with pytest.raises(EmptySketchError):
+            sketch.cdf(1.0)
+
+    def test_quantiles_list(self, name, rng):
+        sketch = make_sketch(name)
+        sketch.update_batch(rng.uniform(1, 2, 5_000))
+        estimates = sketch.quantiles((0.25, 0.5, 0.75))
+        assert len(estimates) == 3
+        assert estimates == sorted(estimates)
+
+    def test_cdf_in_unit_interval(self, name, rng):
+        sketch = make_sketch(name)
+        sketch.update_batch(rng.uniform(1, 2, 5_000))
+        for value in (0.5, 1.2, 1.7, 3.0):
+            assert 0.0 <= sketch.cdf(value) <= 1.0
+
+    def test_size_bytes_positive(self, name, rng):
+        sketch = make_sketch(name)
+        sketch.update_batch(rng.uniform(1, 2, 1_000))
+        assert sketch.size_bytes() > 0
+
+
+class TestDefaultRankBisection:
+    def test_matches_direct_implementation(self, rng):
+        # DDSketch overrides rank(); the base-class bisection fallback
+        # must roughly agree with it.
+        data = 10.0 ** rng.uniform(0, 3, 20_000)
+        sketch = DDSketch(alpha=0.01)
+        sketch.update_batch(data)
+        from repro.core.base import QuantileSketch
+
+        for value in np.quantile(data, [0.2, 0.5, 0.8]):
+            direct = sketch.rank(float(value))
+            fallback = QuantileSketch.rank(sketch, float(value))
+            assert abs(direct - fallback) / sketch.count < 0.03
+
+
+class TestReprs:
+    def test_repr_mentions_count(self, rng):
+        sketch = KLLSketch(seed=0)
+        sketch.update_batch(rng.uniform(0, 1, 10))
+        assert "count=10" in repr(sketch)

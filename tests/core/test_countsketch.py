@@ -1,0 +1,110 @@
+"""Unit tests for the Count-Sketch substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.countsketch import CountSketch
+from repro.errors import IncompatibleSketchError, InvalidValueError
+
+
+class TestConfiguration:
+    def test_width_must_be_power_of_two(self):
+        with pytest.raises(InvalidValueError):
+            CountSketch(width=100)
+        with pytest.raises(InvalidValueError):
+            CountSketch(width=1)
+        CountSketch(width=128)  # fine
+
+    def test_depth_positive(self):
+        with pytest.raises(InvalidValueError):
+            CountSketch(depth=0)
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(InvalidValueError):
+            CountSketch().update(-1)
+
+
+class TestEstimation:
+    def test_exact_for_single_key(self):
+        sketch = CountSketch(width=256, seed=1)
+        sketch.update(42, 100)
+        assert sketch.estimate(42) == 100
+
+    def test_unseen_key_near_zero(self):
+        sketch = CountSketch(width=1024, seed=2)
+        rng = np.random.default_rng(0)
+        sketch.update_batch(rng.integers(0, 1000, 10_000))
+        assert abs(sketch.estimate(999_999)) < 200
+
+    def test_heavy_hitter_estimated_accurately(self):
+        sketch = CountSketch(width=1024, depth=5, seed=3)
+        rng = np.random.default_rng(1)
+        sketch.update_batch(rng.integers(0, 10_000, 20_000))
+        sketch.update(7, 5_000)
+        estimate = sketch.estimate(7)
+        assert abs(estimate - 5_000) < 500
+
+    def test_negative_updates_cancel(self):
+        sketch = CountSketch(width=256, seed=4)
+        sketch.update(5, 10)
+        sketch.update(5, -10)
+        assert sketch.estimate(5) == 0
+
+    def test_estimate_batch_matches_scalar(self):
+        sketch = CountSketch(width=512, seed=5)
+        rng = np.random.default_rng(2)
+        sketch.update_batch(rng.integers(0, 100, 5_000))
+        keys = np.arange(0, 100)
+        batch = sketch.estimate_batch(keys)
+        for key, est in zip(keys, batch):
+            assert est == sketch.estimate(int(key))
+
+    def test_empty_batches(self):
+        sketch = CountSketch()
+        sketch.update_batch(np.zeros(0, dtype=np.int64))
+        assert sketch.estimate_batch(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_unbiased_over_seeds(self):
+        # The signed-median construction is (approximately) unbiased:
+        # averaging estimates across independent sketches converges to
+        # the true count.
+        rng = np.random.default_rng(3)
+        background = rng.integers(0, 5_000, 20_000)
+        estimates = []
+        for seed in range(10):
+            sketch = CountSketch(width=256, depth=1, seed=seed)
+            sketch.update_batch(background)
+            sketch.update(77, 300)
+            estimates.append(sketch.estimate(77))
+        assert abs(np.mean(estimates) - 300) < 250
+
+
+class TestMerge:
+    def test_merge_adds_counts(self):
+        a = CountSketch(width=256, seed=7)
+        b = CountSketch(width=256, seed=7)
+        a.update(3, 10)
+        b.update(3, 5)
+        a.merge(b)
+        assert a.estimate(3) == 15
+
+    def test_merge_requires_same_seed(self):
+        a = CountSketch(seed=1)
+        b = CountSketch(seed=2)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(b)
+
+    def test_merge_requires_same_shape(self):
+        a = CountSketch(width=256, seed=1)
+        b = CountSketch(width=512, seed=1)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(b)
+
+
+class TestAccounting:
+    def test_size_fixed(self):
+        sketch = CountSketch(width=512, depth=5)
+        before = sketch.size_bytes()
+        sketch.update_batch(np.arange(10_000))
+        assert sketch.size_bytes() == before
+        assert before >= 8 * 512 * 5

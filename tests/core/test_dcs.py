@@ -1,0 +1,137 @@
+"""Unit tests for the Dyadic Count Sketch."""
+
+import numpy as np
+import pytest
+
+from repro.core import DyadicCountSketch, KLLSketch
+from repro.errors import (
+    EmptySketchError,
+    IncompatibleSketchError,
+    InvalidValueError,
+)
+
+
+@pytest.fixture
+def filled():
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 1 << 16, 100_000).astype(np.float64)
+    sketch = DyadicCountSketch(universe_log2=16, seed=1)
+    sketch.update_batch(data)
+    return sketch, np.sort(data)
+
+
+class TestConfiguration:
+    def test_universe_bounds(self):
+        with pytest.raises(InvalidValueError):
+            DyadicCountSketch(universe_log2=0)
+        with pytest.raises(InvalidValueError):
+            DyadicCountSketch(universe_log2=64)
+
+    def test_levels_count(self):
+        sketch = DyadicCountSketch(universe_log2=12)
+        assert sketch.num_levels == 12
+
+    def test_values_must_be_in_universe(self):
+        sketch = DyadicCountSketch(universe_log2=8)
+        with pytest.raises(InvalidValueError):
+            sketch.update(256.0)
+        with pytest.raises(InvalidValueError):
+            sketch.update(-1.0)
+
+    def test_empty(self):
+        with pytest.raises(EmptySketchError):
+            DyadicCountSketch().quantile(0.5)
+
+
+class TestQuantiles:
+    def test_rank_error_small_on_uniform_keys(self, filled):
+        sketch, sorted_data = filled
+        for q in (0.05, 0.25, 0.5, 0.75, 0.95, 0.99):
+            est = sketch.quantile(q)
+            rank = np.searchsorted(sorted_data, est, side="right")
+            assert abs(rank / sorted_data.size - q) < 0.01, q
+
+    def test_rank_monotone_in_value(self, filled):
+        sketch, _ = filled
+        ranks = [sketch.rank(v) for v in (0, 1 << 12, 1 << 14, 1 << 15)]
+        assert ranks == sorted(ranks)
+
+    def test_rank_extremes(self, filled):
+        sketch, _ = filled
+        assert sketch.rank(-5.0) == 0
+        assert sketch.rank(float(1 << 16)) == sketch.count
+
+    def test_quantile_within_observed_range(self, filled):
+        sketch, sorted_data = filled
+        assert sorted_data[0] <= sketch.quantile(0.001)
+        assert sketch.quantile(1.0) <= sorted_data[-1]
+
+    def test_values_floored_to_integers(self):
+        sketch = DyadicCountSketch(universe_log2=8)
+        sketch.update_batch([3.2, 3.7, 3.9])
+        assert sketch.quantile(0.5) == 3.0
+
+
+class TestTurnstile:
+    def test_deletions_shift_quantiles(self):
+        rng = np.random.default_rng(1)
+        low = rng.integers(0, 100, 20_000).astype(np.float64)
+        high = rng.integers(900, 1000, 20_000).astype(np.float64)
+        sketch = DyadicCountSketch(universe_log2=10, seed=2)
+        sketch.update_batch(low)
+        sketch.update_batch(high)
+        assert 90 <= sketch.quantile(0.5) <= 910
+        sketch.delete_batch(low)
+        assert sketch.count == 20_000
+        # Only high values remain.
+        assert sketch.quantile(0.25) >= 890
+
+    def test_insert_delete_roundtrip_is_clean(self):
+        sketch = DyadicCountSketch(universe_log2=10, seed=3)
+        sketch.update_batch(np.arange(512, dtype=np.float64))
+        sketch.delete_batch(np.arange(256, dtype=np.float64))
+        assert sketch.count == 256
+        assert sketch.rank(255.0) <= 30  # lower half mostly gone
+
+    def test_cannot_delete_below_zero(self):
+        sketch = DyadicCountSketch(universe_log2=8)
+        sketch.update(4.0)
+        with pytest.raises(InvalidValueError):
+            sketch.delete_batch(np.asarray([4.0, 5.0]))
+
+
+class TestSpaceClaim:
+    def test_needs_more_space_than_kll(self, filled):
+        # Sec 5.2.3: DCS's larger memory footprint (and required
+        # universe knowledge) is why KLL superseded it.
+        sketch, sorted_data = filled
+        kll = KLLSketch(max_compactor_size=350, seed=0)
+        kll.update_batch(sorted_data)
+        assert sketch.size_bytes() > 10 * kll.size_bytes()
+
+
+class TestMerge:
+    def test_merge_combines(self):
+        rng = np.random.default_rng(2)
+        a = DyadicCountSketch(universe_log2=12, seed=5)
+        b = DyadicCountSketch(universe_log2=12, seed=5)
+        data_a = rng.integers(0, 1 << 12, 10_000).astype(np.float64)
+        data_b = rng.integers(0, 1 << 12, 10_000).astype(np.float64)
+        a.update_batch(data_a)
+        b.update_batch(data_b)
+        a.merge(b)
+        assert a.count == 20_000
+        merged = np.sort(np.concatenate([data_a, data_b]))
+        est = a.quantile(0.5)
+        rank = np.searchsorted(merged, est, side="right") / merged.size
+        assert abs(rank - 0.5) < 0.01
+
+    def test_merge_requires_same_config(self):
+        a = DyadicCountSketch(universe_log2=12, seed=1)
+        b = DyadicCountSketch(universe_log2=12, seed=2)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(b)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(DyadicCountSketch(universe_log2=10, seed=1))
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(KLLSketch())

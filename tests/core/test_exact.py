@@ -1,0 +1,87 @@
+"""Unit tests for the exact-quantiles baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactQuantiles, TDigest
+from repro.errors import (
+    EmptySketchError,
+    IncompatibleSketchError,
+    InvalidQuantileError,
+    InvalidValueError,
+)
+
+
+class TestExactQuantiles:
+    def test_empty(self):
+        with pytest.raises(EmptySketchError):
+            ExactQuantiles().quantile(0.5)
+
+    def test_paper_table1_example(self):
+        # Table 1: the q-quantile is the item of rank ceil(qN).
+        data = [3, 8, 11, 14, 16, 19, 25, 29, 30, 51]
+        exact = ExactQuantiles()
+        exact.update_batch(data)
+        assert exact.quantile(0.1) == 3
+        assert exact.quantile(0.5) == 16
+        assert exact.quantile(0.9) == 30
+        assert exact.quantile(1.0) == 51
+        # 0.95 rounds up to rank 10.
+        assert exact.quantile(0.95) == 51
+
+    def test_rank_counts_less_or_equal(self):
+        exact = ExactQuantiles()
+        exact.update_batch([1.0, 2.0, 2.0, 3.0])
+        assert exact.rank(0.5) == 0
+        assert exact.rank(2.0) == 3
+        assert exact.rank(3.0) == 4
+        assert exact.rank(10.0) == 4
+
+    def test_matches_numpy_on_random_data(self, rng):
+        data = rng.normal(0, 1, 10_000)
+        exact = ExactQuantiles()
+        exact.update_batch(data)
+        s = np.sort(data)
+        for q in (0.01, 0.25, 0.5, 0.99):
+            assert exact.quantile(q) == s[int(np.ceil(q * s.size)) - 1]
+
+    def test_interleaved_updates_and_queries(self, rng):
+        exact = ExactQuantiles()
+        exact.update_batch(rng.uniform(0, 1, 100))
+        first = exact.quantile(0.5)
+        exact.update_batch(rng.uniform(10, 11, 1_000))
+        assert exact.quantile(0.5) != first
+        assert exact.count == 1_100
+
+    def test_merge(self, rng):
+        a, b = ExactQuantiles(), ExactQuantiles()
+        a.update_batch(rng.uniform(0, 1, 500))
+        b.update_batch(rng.uniform(1, 2, 500))
+        a.merge(b)
+        assert a.count == 1_000
+        assert b.count == 500
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(TDigest())
+
+    def test_values_returns_sorted_copy(self):
+        exact = ExactQuantiles()
+        exact.update_batch([3.0, 1.0, 2.0])
+        values = exact.values()
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        values[0] = 99.0
+        assert exact.quantile(0.01) == 1.0
+
+    def test_memory_grows_linearly(self, rng):
+        exact = ExactQuantiles()
+        exact.update_batch(rng.uniform(0, 1, 1_000))
+        small = exact.size_bytes()
+        exact.update_batch(rng.uniform(0, 1, 9_000))
+        assert exact.size_bytes() == pytest.approx(small * 10, rel=0.05)
+
+    def test_rejects_invalid(self):
+        exact = ExactQuantiles()
+        with pytest.raises(InvalidValueError):
+            exact.update(float("nan"))
+        exact.update(1.0)
+        with pytest.raises(InvalidQuantileError):
+            exact.quantile(0.0)

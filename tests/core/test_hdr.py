@@ -1,0 +1,131 @@
+"""Unit tests for the HDR histogram baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import DDSketch, HdrHistogram
+from repro.errors import IncompatibleSketchError, InvalidValueError
+from tests.conftest import true_quantiles
+
+
+class TestConfiguration:
+    def test_rejects_bad_digits(self):
+        with pytest.raises(InvalidValueError):
+            HdrHistogram(significant_digits=0)
+        with pytest.raises(InvalidValueError):
+            HdrHistogram(significant_digits=5)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(InvalidValueError):
+            HdrHistogram(highest_trackable_value=1.0)
+
+    def test_footprint_fixed_up_front(self, rng):
+        # HDR allocates the whole array at construction (the trait the
+        # paper contrasts with DDSketch's adaptive stores).
+        sketch = HdrHistogram()
+        empty = sketch.size_bytes()
+        sketch.update_batch(rng.uniform(100, 10_000, 50_000))
+        assert sketch.size_bytes() == empty
+
+
+class TestDomain:
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidValueError):
+            HdrHistogram().update(-1.0)
+
+    def test_rejects_above_range(self):
+        sketch = HdrHistogram(highest_trackable_value=1_000.0)
+        with pytest.raises(InvalidValueError):
+            sketch.update(2_000.0)
+        with pytest.raises(InvalidValueError):
+            sketch.update_batch(np.asarray([1.0, 2_000.0]))
+
+    def test_zero_recorded(self):
+        sketch = HdrHistogram()
+        sketch.update(0.0)
+        assert sketch.count == 1
+
+
+class TestPrecision:
+    def test_significant_digits_guarantee(self, rng):
+        # Values >> 1 unit reproduce within ~10^-digits relative error.
+        sketch = HdrHistogram(significant_digits=2)
+        values = 10.0 ** rng.uniform(3, 8, 30_000)
+        sketch.update_batch(values)
+        for q, true in true_quantiles(
+            values, (0.05, 0.5, 0.95, 0.99)
+        ).items():
+            est = sketch.quantile(q)
+            assert abs(est - true) / true < 0.01, q
+
+    def test_more_digits_more_precision(self, rng):
+        values = 10.0 ** rng.uniform(3, 6, 20_000)
+        errors = {}
+        for digits in (1, 3):
+            sketch = HdrHistogram(significant_digits=digits)
+            sketch.update_batch(values)
+            true = true_quantiles(values, (0.5,))[0.5]
+            errors[digits] = abs(sketch.quantile(0.5) - true) / true
+        assert errors[3] <= errors[1]
+
+    def test_batch_equals_scalar(self, rng):
+        values = rng.uniform(100, 100_000, 3_000)
+        batched = HdrHistogram()
+        batched.update_batch(values)
+        scalar = HdrHistogram()
+        for value in values:
+            scalar.update(float(value))
+        for q in (0.1, 0.5, 0.9):
+            assert batched.quantile(q) == scalar.quantile(q)
+
+    def test_unit_granularity_near_one(self, rng):
+        # Inherent HDR behaviour: precision is relative to the integer
+        # unit, so values near 1 resolve to the unit grid.
+        sketch = HdrHistogram()
+        sketch.update_batch(rng.uniform(1.0, 2.0, 1_000))
+        assert 1.0 <= sketch.quantile(0.5) <= 2.0
+
+
+class TestComparisonWithDDSketch:
+    def test_ddsketch_handles_wider_dynamic_range_in_less_space(self, rng):
+        # Sec 5.2.2 / Masson et al.: DDSketch is comparable on accuracy
+        # but smaller, because HDR pre-allocates its full range.
+        values = 10.0 ** rng.uniform(0, 8, 50_000)
+        hdr = HdrHistogram(significant_digits=2)
+        dds = DDSketch(alpha=0.01)
+        hdr.update_batch(values)
+        dds.update_batch(values)
+        assert dds.size_bytes() < hdr.size_bytes()
+        true = true_quantiles(values, (0.5, 0.99))
+        for q, t in true.items():
+            assert abs(dds.quantile(q) - t) / t <= 0.0101
+
+
+class TestMerge:
+    def test_merge_adds_counts(self, rng):
+        a, b = HdrHistogram(), HdrHistogram()
+        a.update_batch(rng.uniform(100, 1_000, 5_000))
+        b.update_batch(rng.uniform(10_000, 50_000, 5_000))
+        a.merge(b)
+        assert a.count == 10_000
+        assert a.quantile(0.25) < 1_000
+        assert a.quantile(0.75) > 10_000
+
+    def test_merge_requires_same_config(self):
+        a = HdrHistogram(significant_digits=2)
+        b = HdrHistogram(significant_digits=3)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(b)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(DDSketch())
+
+
+class TestRank:
+    def test_rank_tracks_position(self, rng):
+        values = rng.uniform(1_000, 100_000, 20_000)
+        sketch = HdrHistogram()
+        sketch.update_batch(values)
+        s = np.sort(values)
+        for q in (0.25, 0.5, 0.75):
+            value = float(s[int(q * s.size)])
+            assert abs(sketch.rank(value) / sketch.count - q) < 0.02

@@ -1,0 +1,118 @@
+"""Tests for the full Sec 3.2 Moments Sketch (joint log moments)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MomentsSketch, dumps, loads
+from repro.errors import IncompatibleSketchError, InvalidValueError
+from tests.conftest import true_quantiles
+
+
+class TestConfiguration:
+    def test_log_moments_excludes_transform(self):
+        with pytest.raises(InvalidValueError):
+            MomentsSketch(transform="log", log_moments=True)
+
+    def test_log_moments_requires_positive(self):
+        sketch = MomentsSketch(log_moments=True)
+        with pytest.raises(InvalidValueError):
+            sketch.update(-1.0)
+        with pytest.raises(InvalidValueError):
+            sketch.update_batch([1.0, 0.0])
+
+    def test_size_roughly_doubles(self, rng):
+        plain = MomentsSketch(num_moments=12)
+        full = MomentsSketch(num_moments=12, log_moments=True)
+        data = rng.uniform(1, 10, 1_000)
+        plain.update_batch(data)
+        full.update_batch(data)
+        assert full.size_bytes() > 1.5 * plain.size_bytes()
+        assert full.size_bytes() < 2.5 * plain.size_bytes()
+
+
+class TestJointAccuracy:
+    def test_handles_heavy_tails_without_manual_transform(self, rng):
+        # The whole point of the log moments: Pareto-range data works
+        # without the caller knowing to pick a log transform.
+        data = 1.0 + rng.pareto(1.0, 100_000)
+        plain = MomentsSketch(num_moments=12, transform="none")
+        joint = MomentsSketch(num_moments=12, log_moments=True)
+        plain.update_batch(data)
+        joint.update_batch(data)
+        true = true_quantiles(data, (0.25, 0.5, 0.9, 0.99))
+        plain_err = np.mean([
+            abs(plain.quantile(q) - t) / t for q, t in true.items()
+        ])
+        joint_err = np.mean([
+            abs(joint.quantile(q) - t) / t for q, t in true.items()
+        ])
+        assert joint_err < 0.05
+        assert joint_err < plain_err / 10
+
+    def test_matches_log_transform_quality(self, rng):
+        data = 1.0 + rng.pareto(1.5, 100_000)
+        logged = MomentsSketch(num_moments=12, transform="log")
+        joint = MomentsSketch(num_moments=12, log_moments=True)
+        logged.update_batch(data)
+        joint.update_batch(data)
+        true = true_quantiles(data, (0.25, 0.5, 0.9, 0.98))
+        for q, t in true.items():
+            assert abs(joint.quantile(q) - t) / t < (
+                abs(logged.quantile(q) - t) / t + 0.02
+            )
+
+    def test_still_good_on_narrow_data(self, rng):
+        data = rng.uniform(50, 60, 50_000)
+        joint = MomentsSketch(num_moments=12, log_moments=True)
+        joint.update_batch(data)
+        for q, t in true_quantiles(data, (0.25, 0.5, 0.9)).items():
+            assert abs(joint.quantile(q) - t) / t < 0.01
+
+    def test_rank_consistent(self, rng):
+        data = 1.0 + rng.pareto(1.0, 50_000)
+        joint = MomentsSketch(num_moments=12, log_moments=True)
+        joint.update_batch(data)
+        s = np.sort(data)
+        for q in (0.25, 0.5, 0.9):
+            value = float(s[int(q * s.size)])
+            assert abs(joint.rank(value) / joint.count - q) < 0.03
+
+
+class TestLifecycle:
+    def test_merge_combines_both_moment_sets(self, rng):
+        a = MomentsSketch(num_moments=8, log_moments=True)
+        b = MomentsSketch(num_moments=8, log_moments=True)
+        data_a = 1.0 + rng.pareto(1.0, 20_000)
+        data_b = 1.0 + rng.pareto(1.0, 20_000)
+        a.update_batch(data_a)
+        b.update_batch(data_b)
+        a.merge(b)
+        single = MomentsSketch(num_moments=8, log_moments=True)
+        single.update_batch(np.concatenate([data_a, data_b]))
+        assert np.allclose(a._log_power_sums, single._log_power_sums)
+        assert a.quantile(0.5) == pytest.approx(
+            single.quantile(0.5), rel=1e-6
+        )
+
+    def test_merge_rejects_mixed_configs(self):
+        with pytest.raises(IncompatibleSketchError):
+            MomentsSketch(log_moments=True).merge(MomentsSketch())
+
+    def test_serialization_round_trip(self, rng):
+        sketch = MomentsSketch(num_moments=10, log_moments=True)
+        sketch.update_batch(1.0 + rng.pareto(1.0, 30_000))
+        restored = loads(dumps(sketch))
+        assert restored.log_moments
+        assert restored.quantile(0.9) == pytest.approx(
+            sketch.quantile(0.9), rel=1e-9
+        )
+        assert restored.size_bytes() == sketch.size_bytes()
+
+    def test_scalar_updates_match_batch(self):
+        a = MomentsSketch(num_moments=6, log_moments=True)
+        b = MomentsSketch(num_moments=6, log_moments=True)
+        values = [1.5, 2.5, 10.0, 0.3, 7.7]
+        for value in values:
+            a.update(value)
+        b.update_batch(values)
+        assert np.allclose(a._log_power_sums, b._log_power_sums)

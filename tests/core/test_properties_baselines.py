@@ -1,0 +1,159 @@
+"""Property-based tests for the related-work baseline sketches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DyadicCountSketch,
+    GKSketch,
+    HdrHistogram,
+    RandomSketch,
+    TDigest,
+    dumps,
+    loads,
+)
+
+positive_floats = st.floats(
+    min_value=1.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(positive_floats, min_size=1, max_size=200)
+int_keys = st.lists(
+    st.integers(min_value=0, max_value=(1 << 12) - 1),
+    min_size=1, max_size=200,
+)
+
+
+class TestHdrProperties:
+    @given(values=value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_precision_guarantee_above_grid(self, values):
+        # For values >= 1000 the integer grid is finer than the 2-digit
+        # precision, so the significant-digits bound applies cleanly.
+        values = [v + 1_000.0 for v in values]
+        sketch = HdrHistogram(significant_digits=2)
+        sketch.update_batch(values)
+        s = sorted(values)
+        for q in (0.25, 0.5, 0.9, 1.0):
+            est = sketch.quantile(q)
+            true = s[max(int(np.ceil(q * len(s))), 1) - 1]
+            assert abs(est - true) / true < 0.02
+
+    @given(a=value_lists, b=value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_concatenation(self, a, b):
+        merged = HdrHistogram()
+        merged.update_batch(a)
+        other = HdrHistogram()
+        other.update_batch(b)
+        merged.merge(other)
+        single = HdrHistogram()
+        single.update_batch(a + b)
+        for q in (0.25, 0.5, 0.9):
+            assert merged.quantile(q) == single.quantile(q)
+
+    @given(values=value_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, values):
+        sketch = HdrHistogram()
+        sketch.update_batch(values)
+        restored = loads(dumps(sketch))
+        assert restored.count == sketch.count
+        assert restored.quantile(0.5) == sketch.quantile(0.5)
+
+
+class TestDcsProperties:
+    @given(keys=int_keys)
+    @settings(max_examples=50, deadline=None)
+    def test_insert_then_delete_all_leaves_empty_counts(self, keys):
+        sketch = DyadicCountSketch(universe_log2=12, seed=0)
+        values = np.asarray(keys, dtype=np.float64)
+        sketch.update_batch(values)
+        sketch.delete_batch(values)
+        assert sketch.count == 0
+
+    @given(keys=int_keys)
+    @settings(max_examples=50, deadline=None)
+    def test_rank_monotone(self, keys):
+        sketch = DyadicCountSketch(universe_log2=12, seed=0)
+        sketch.update_batch(np.asarray(keys, dtype=np.float64))
+        ranks = [sketch.rank(float(x)) for x in (0, 1 << 10, 1 << 11, 1 << 12)]
+        assert ranks == sorted(ranks)
+
+    @given(keys=int_keys)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_levels_make_small_universes_exact(self, keys):
+        # With the whole tree under the exact threshold DCS is exact.
+        sketch = DyadicCountSketch(
+            universe_log2=12, exact_threshold=1 << 12, seed=0
+        )
+        values = np.asarray(keys, dtype=np.float64)
+        sketch.update_batch(values)
+        s = np.sort(values)
+        for q in (0.25, 0.5, 1.0):
+            est = sketch.quantile(q)
+            true = s[max(int(np.ceil(q * s.size)), 1) - 1]
+            assert est == true
+
+    @given(keys=int_keys)
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, keys):
+        sketch = DyadicCountSketch(universe_log2=12, seed=3)
+        sketch.update_batch(np.asarray(keys, dtype=np.float64))
+        restored = loads(dumps(sketch))
+        assert restored.count == sketch.count
+        assert restored.quantile(0.5) == sketch.quantile(0.5)
+
+
+class TestRandomSketchProperties:
+    @given(values=value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_estimates_from_stream(self, values):
+        sketch = RandomSketch(num_buffers=4, buffer_size=16, seed=0)
+        sketch.update_batch(values)
+        universe = set(values)
+        for q in (0.25, 0.5, 0.9):
+            assert sketch.quantile(q) in universe
+
+    @given(values=st.lists(positive_floats, min_size=1, max_size=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_space_bound(self, values):
+        sketch = RandomSketch(num_buffers=4, buffer_size=16, seed=1)
+        sketch.update_batch(values)
+        assert sketch.num_retained <= 4 * 16
+
+    @given(values=value_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, values):
+        sketch = RandomSketch(num_buffers=4, buffer_size=16, seed=2)
+        sketch.update_batch(values)
+        restored = loads(dumps(sketch))
+        assert restored.count == sketch.count
+        assert restored.quantile(0.5) == sketch.quantile(0.5)
+
+
+class TestGKAndTDigestProperties:
+    @given(values=value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_gk_rank_guarantee(self, values):
+        # A repeated value occupies a *range* of ranks; the guarantee
+        # holds if any rank of the returned value is within 2*eps.
+        sketch = GKSketch(epsilon=0.1)
+        sketch.update_batch(values)
+        s = np.sort(np.asarray(values))
+        n = s.size
+        for q in (0.25, 0.5, 0.9):
+            est = sketch.quantile(q)
+            lo = (np.searchsorted(s, est, side="left") + 1) / n
+            hi = np.searchsorted(s, est, side="right") / n
+            distance = max(lo - q, q - hi, 0.0)
+            assert distance <= 0.2 + 1.0 / n
+
+    @given(values=value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_tdigest_extremes_exact(self, values):
+        sketch = TDigest(compression=50)
+        sketch.update_batch(values)
+        assert sketch.quantile(1.0) == max(values)
+        assert sketch.quantile(1e-9) == min(values)

@@ -1,0 +1,118 @@
+"""Unit tests for the Random (Manku et al.) sketch."""
+
+import numpy as np
+import pytest
+
+from repro.core import KLLSketch, RandomSketch
+from repro.errors import (
+    EmptySketchError,
+    IncompatibleSketchError,
+    InvalidValueError,
+)
+
+
+class TestBasics:
+    def test_empty(self):
+        with pytest.raises(EmptySketchError):
+            RandomSketch().quantile(0.5)
+
+    def test_validation(self):
+        with pytest.raises(InvalidValueError):
+            RandomSketch(num_buffers=1)
+        with pytest.raises(InvalidValueError):
+            RandomSketch(buffer_size=1)
+        with pytest.raises(InvalidValueError):
+            RandomSketch().update(float("nan"))
+
+    def test_small_stream_exact(self):
+        sketch = RandomSketch(num_buffers=4, buffer_size=64, seed=0)
+        for value in range(1, 51):
+            sketch.update(float(value))
+        assert sketch.quantile(0.5) == 25.0
+        assert sketch.quantile(1.0) == 50.0
+
+    def test_estimates_are_stream_values(self, rng):
+        data = np.round(rng.uniform(0, 100, 20_000), 6)
+        sketch = RandomSketch(seed=1)
+        sketch.update_batch(data)
+        universe = set(data.tolist())
+        for q in (0.1, 0.5, 0.9):
+            assert sketch.quantile(q) in universe
+
+
+class TestCollapse:
+    def test_space_bounded_by_buffers(self, rng):
+        sketch = RandomSketch(num_buffers=8, buffer_size=128, seed=2)
+        sketch.update_batch(rng.uniform(0, 1, 100_000))
+        assert sketch.num_retained <= 8 * 128
+        assert sketch.count == 100_000
+
+    def test_weight_conserved_by_collapse(self, rng):
+        sketch = RandomSketch(num_buffers=4, buffer_size=64, seed=3)
+        n = 50_000
+        sketch.update_batch(rng.uniform(0, 1, n))
+        _values, weights = sketch._weighted_samples()
+        # Collapses conserve total weight up to integer division slack.
+        assert abs(int(weights.sum()) - n) / n < 0.05
+
+    def test_rank_error_reasonable(self, rng):
+        sketch = RandomSketch(num_buffers=8, buffer_size=128, seed=4)
+        data = rng.uniform(0, 1, 100_000)
+        sketch.update_batch(data)
+        s = np.sort(data)
+        for q in (0.25, 0.5, 0.75, 0.95):
+            est = sketch.quantile(q)
+            rank = np.searchsorted(s, est, side="right") / s.size
+            assert abs(rank - q) < 0.05, q
+
+
+class TestKLLImprovesRandom:
+    def test_kll_more_accurate_at_equal_space(self, rng):
+        # Sec 5.2.1: KLL improves Random's space/accuracy trade-off.
+        # Compare mean rank error at (approximately) equal retained
+        # sample sizes, averaged over seeds.
+        data = rng.uniform(0, 1, 150_000)
+        s = np.sort(data)
+        qs = (0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99)
+
+        def mean_rank_error(sketch):
+            errors = []
+            for q in qs:
+                est = sketch.quantile(q)
+                rank = np.searchsorted(s, est, side="right") / s.size
+                errors.append(abs(rank - q))
+            return float(np.mean(errors))
+
+        random_errors = []
+        kll_errors = []
+        for seed in range(5):
+            random_sketch = RandomSketch(
+                num_buffers=8, buffer_size=128, seed=seed
+            )
+            random_sketch.update_batch(data)
+            random_errors.append(mean_rank_error(random_sketch))
+            kll = KLLSketch(max_compactor_size=350, seed=seed)
+            kll.update_batch(data)
+            kll_errors.append(mean_rank_error(kll))
+        assert np.mean(kll_errors) <= np.mean(random_errors) * 1.5
+
+
+class TestMerge:
+    def test_merge_counts_and_range(self, rng):
+        a = RandomSketch(seed=1)
+        b = RandomSketch(seed=2)
+        a.update_batch(rng.uniform(0, 1, 20_000))
+        b.update_batch(rng.uniform(9, 10, 20_000))
+        a.merge(b)
+        assert a.count == 40_000
+        assert a.quantile(0.25) < 1.0
+        assert a.quantile(0.75) > 9.0
+        assert a.num_retained <= a.num_buffers * a.buffer_size
+
+    def test_merge_requires_same_config(self):
+        a = RandomSketch(buffer_size=64)
+        b = RandomSketch(buffer_size=128)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(b)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(KLLSketch())

@@ -1,0 +1,85 @@
+"""Unit tests for sketch serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import SKETCH_CLASSES, dumps, loads, make_sketch, paper_config
+from repro.core.base import QuantileSketch
+from repro.errors import SerializationError
+
+ALL_NAMES = sorted(SKETCH_CLASSES)
+QS = (0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99)
+
+
+def fill(name: str, rng: np.random.Generator) -> QuantileSketch:
+    sketch = paper_config(name, seed=7)
+    n = 2_000 if name == "gk" else 30_000
+    sketch.update_batch(1.0 + rng.pareto(1.0, n))
+    return sketch
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestRoundTrip:
+    def test_quantiles_survive(self, name, rng):
+        sketch = fill(name, rng)
+        restored = loads(dumps(sketch))
+        assert type(restored) is type(sketch)
+        assert restored.count == sketch.count
+        for q in QS:
+            assert restored.quantile(q) == pytest.approx(
+                sketch.quantile(q), rel=1e-9
+            ), q
+
+    def test_bookkeeping_survives(self, name, rng):
+        sketch = fill(name, rng)
+        restored = loads(dumps(sketch))
+        assert restored.min == sketch.min
+        assert restored.max == sketch.max
+        assert restored.size_bytes() == sketch.size_bytes()
+
+    def test_restored_sketch_accepts_updates(self, name, rng):
+        sketch = fill(name, rng)
+        restored = loads(dumps(sketch))
+        restored.update_batch(1.0 + rng.pareto(1.0, 1_000))
+        assert restored.count == sketch.count + 1_000
+
+    def test_restored_sketch_merges(self, name, rng):
+        sketch = fill(name, rng)
+        restored = loads(dumps(sketch))
+        other = fill(name, np.random.default_rng(99))
+        restored.merge(other)
+        assert restored.count == sketch.count + other.count
+
+    def test_empty_sketch_round_trips(self, name, rng):
+        sketch = make_sketch(name)
+        restored = loads(dumps(sketch))
+        assert restored.is_empty
+
+
+class TestFormat:
+    def test_magic_checked(self):
+        with pytest.raises(SerializationError):
+            loads(b"XXXX" + b"\x01\x03kll")
+
+    def test_truncation_detected(self, rng):
+        payload = dumps(fill("ddsketch", rng))
+        with pytest.raises(SerializationError):
+            loads(payload[: len(payload) // 2])
+
+    def test_trailing_garbage_detected(self, rng):
+        payload = dumps(fill("kll", rng))
+        with pytest.raises(SerializationError):
+            loads(payload + b"\x00")
+
+    def test_unknown_version(self, rng):
+        payload = bytearray(dumps(fill("moments", rng)))
+        payload[4] = 99
+        with pytest.raises(SerializationError):
+            loads(bytes(payload))
+
+    def test_payload_is_compact(self, rng):
+        # A sketch's byte-stream should be near its size_bytes figure,
+        # not the raw stream size.
+        sketch = fill("ddsketch", rng)
+        payload = dumps(sketch)
+        assert len(payload) < 16 * 8 * sketch.count / 100

@@ -1,0 +1,119 @@
+"""Unit tests for the t-digest baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import GKSketch, TDigest
+from repro.errors import IncompatibleSketchError, InvalidValueError
+from tests.conftest import true_quantiles
+
+
+class TestTDigest:
+    def test_rejects_tiny_compression(self):
+        with pytest.raises(InvalidValueError):
+            TDigest(compression=1)
+
+    def test_centroid_count_bounded(self, rng):
+        sketch = TDigest(compression=100)
+        sketch.update_batch(rng.normal(0, 1, 200_000))
+        # The k1 scale function bounds centroids near the compression.
+        assert sketch.num_centroids <= 2 * 100
+
+    def test_tail_quantiles_sharper_than_mid(self, rng):
+        data = rng.normal(0, 1, 200_000)
+        sketch = TDigest(compression=100)
+        sketch.update_batch(data)
+        s = np.sort(data)
+        def rank_err(q):
+            est = sketch.quantile(q)
+            return abs(np.searchsorted(s, est) / s.size - q)
+        # Rank error at the extreme tail is tighter than at the median.
+        assert rank_err(0.999) <= rank_err(0.5) + 1e-3
+
+    def test_extremes_are_exact(self, rng):
+        data = rng.uniform(0, 100, 50_000)
+        sketch = TDigest()
+        sketch.update_batch(data)
+        assert sketch.quantile(1.0) == data.max()
+        assert sketch.quantile(1e-9) == data.min()
+
+    def test_reasonable_uniform_accuracy(self, uniform_data):
+        sketch = TDigest(compression=100)
+        sketch.update_batch(uniform_data)
+        for q, true in true_quantiles(
+            uniform_data, (0.25, 0.5, 0.9, 0.99)
+        ).items():
+            assert abs(sketch.quantile(q) - true) / true < 0.02
+
+    def test_merge_preserves_count_and_accuracy(self, rng):
+        parts = [rng.normal(0, 1, 20_000) for _ in range(4)]
+        merged = TDigest()
+        for part in parts:
+            piece = TDigest()
+            piece.update_batch(part)
+            merged.merge(piece)
+        assert merged.count == 80_000
+        s = np.sort(np.concatenate(parts))
+        est = merged.quantile(0.5)
+        assert abs(np.searchsorted(s, est) / s.size - 0.5) < 0.02
+
+    def test_merge_wrong_type(self):
+        with pytest.raises(IncompatibleSketchError):
+            TDigest().merge(GKSketch())
+
+    def test_quantiles_monotone(self, pareto_data):
+        sketch = TDigest()
+        sketch.update_batch(pareto_data)
+        estimates = sketch.quantiles(np.linspace(0.01, 1.0, 30))
+        assert all(
+            a <= b + 1e-9 for a, b in zip(estimates, estimates[1:])
+        )
+
+    def test_rank_bounded(self, rng):
+        sketch = TDigest()
+        data = rng.uniform(0, 10, 10_000)
+        sketch.update_batch(data)
+        assert sketch.rank(-1.0) == 0
+        assert sketch.rank(11.0) == 10_000
+        assert 0 <= sketch.rank(5.0) <= 10_000
+
+
+class TestGKSketch:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(InvalidValueError):
+            GKSketch(epsilon=0.6)
+
+    def test_rank_error_guarantee(self, rng):
+        data = rng.uniform(0, 1, 20_000)
+        sketch = GKSketch(epsilon=0.01)
+        sketch.update_batch(data)
+        s = np.sort(data)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            est = sketch.quantile(q)
+            rank = np.searchsorted(s, est, side="right") / s.size
+            assert abs(rank - q) <= 0.02, q  # 2 * epsilon headroom
+
+    def test_space_sublinear(self, rng):
+        sketch = GKSketch(epsilon=0.01)
+        sketch.update_batch(rng.uniform(0, 1, 20_000))
+        assert sketch.num_tuples < 2_000
+
+    def test_estimates_are_stream_values(self, rng):
+        data = np.round(rng.uniform(0, 100, 5_000), 6)
+        universe = set(data.tolist())
+        sketch = GKSketch(epsilon=0.02)
+        sketch.update_batch(data)
+        assert sketch.quantile(0.5) in universe
+
+    def test_merge_sums_counts(self, rng):
+        a, b = GKSketch(0.02), GKSketch(0.02)
+        a.update_batch(rng.uniform(0, 1, 3_000))
+        b.update_batch(rng.uniform(0, 1, 3_000))
+        a.merge(b)
+        assert a.count == 6_000
+        est = a.quantile(0.5)
+        assert 0.4 < est < 0.6
+
+    def test_merge_wrong_type(self):
+        with pytest.raises(IncompatibleSketchError):
+            GKSketch().merge(TDigest())

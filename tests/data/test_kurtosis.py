@@ -1,0 +1,41 @@
+"""Unit tests for the kurtosis suite (Fig 7 workloads)."""
+
+import numpy as np
+
+from repro.data.kurtosis import excess_kurtosis, kurtosis_suite
+
+
+class TestKurtosisSuite:
+    def test_ordered_by_nominal_kurtosis(self):
+        suite = kurtosis_suite()
+        nominals = [nominal for _label, _dist, nominal in suite]
+        assert nominals == sorted(nominals)
+
+    def test_covers_the_papers_span(self):
+        suite = kurtosis_suite()
+        nominals = [nominal for _l, _d, nominal in suite]
+        assert nominals[0] < 0  # a tail-free distribution
+        assert nominals[-1] > 100  # an extremely long tail
+
+    def test_labels_unique(self):
+        labels = [label for label, _d, _n in kurtosis_suite()]
+        assert len(labels) == len(set(labels))
+
+    def test_empirical_kurtosis_tracks_nominal_ordering(self, rng):
+        measured = []
+        for _label, dist, _nominal in kurtosis_suite():
+            samples = dist.sample(100_000, rng)
+            measured.append(excess_kurtosis(samples))
+        # Empirical kurtosis of heavy-tailed samples is noisy, but the
+        # broad ordering must hold: first (uniform) lowest, last
+        # (pareto) highest.
+        assert measured[0] == min(measured)
+        assert measured[-1] == max(measured)
+        assert measured[0] < 0
+        assert measured[-1] > 100
+
+    def test_uniform_is_tail_free(self, rng):
+        label, dist, _ = kurtosis_suite()[0]
+        assert label == "uniform"
+        samples = dist.sample(100_000, rng)
+        assert excess_kurtosis(samples) < 0

@@ -1,0 +1,99 @@
+"""Tests that the synthetic real-world generators reproduce the
+properties the paper's analysis depends on (see DESIGN.md)."""
+
+import numpy as np
+import pytest
+
+from repro.data.realworld import (
+    NYT_AIRPORT_FARE,
+    NYTFares,
+    POWER_MAX,
+    POWER_MIN,
+    PowerConsumption,
+)
+from repro.metrics.stats import excess_kurtosis
+
+N = 500_000
+
+
+@pytest.fixture(scope="module")
+def nyt_sample():
+    return NYTFares().sample(N, np.random.default_rng(42))
+
+
+@pytest.fixture(scope="module")
+def power_sample():
+    return PowerConsumption().sample(N, np.random.default_rng(42))
+
+
+class TestNYTFares:
+    def test_top10_share_matches_paper(self, nyt_sample):
+        # Sec 4.5.3: the top 10 values carry ~31.2% of the mass.
+        _values, counts = np.unique(nyt_sample, return_counts=True)
+        share = np.sort(counts)[-10:].sum() / nyt_sample.size
+        assert 0.27 <= share <= 0.36
+
+    def test_top_values_are_the_paper_quartile_fares(self, nyt_sample):
+        values, counts = np.unique(nyt_sample, return_counts=True)
+        top4 = set(values[np.argsort(counts)[-4:]])
+        assert top4 == {6.5, 7.5, 8.0, 9.0}
+
+    def test_quartile_in_the_repeated_region(self, nyt_sample):
+        q25 = np.quantile(nyt_sample, 0.25)
+        assert 5.5 <= q25 <= 9.5
+
+    def test_airport_fare_at_098_quantile(self, nyt_sample):
+        # Sec 4.5.6: 57.3 sits at the 0.98 quantile, repeated >4000
+        # times per million samples.
+        q98 = np.quantile(nyt_sample, 0.98)
+        assert abs(q98 - NYT_AIRPORT_FARE) / NYT_AIRPORT_FARE < 0.05
+        per_million = (nyt_sample == NYT_AIRPORT_FARE).sum() / N * 1e6
+        assert per_million > 4_000
+
+    def test_long_right_tail(self, nyt_sample):
+        assert excess_kurtosis(nyt_sample) > 10
+        assert nyt_sample.max() > 3 * np.quantile(nyt_sample, 0.99)
+
+    def test_fares_bounded_and_positive(self, nyt_sample):
+        assert nyt_sample.min() >= 2.5
+        assert nyt_sample.max() <= 250.0
+
+    def test_heavy_repetition_from_half_dollar_grid(self, nyt_sample):
+        on_grid = np.isclose(nyt_sample * 2, np.round(nyt_sample * 2))
+        assert on_grid.mean() > 0.3
+
+
+class TestPowerConsumption:
+    def test_range_matches_uci_data(self, power_sample):
+        assert power_sample.min() >= POWER_MIN
+        assert power_sample.max() <= POWER_MAX
+
+    def test_bimodal_humps(self, power_sample):
+        # Sec 4.5.4: humps near 0.3 kW (idle) and ~1.5 kW (active),
+        # with a valley between them.
+        hist, edges = np.histogram(power_sample, bins=50, range=(0, 3))
+        centres = (edges[:-1] + edges[1:]) / 2
+        idle_peak = hist[(centres > 0.1) & (centres < 0.6)].max()
+        active_peak = hist[(centres > 1.0) & (centres < 2.0)].max()
+        valley = hist[(centres > 0.7) & (centres < 1.0)].min()
+        assert valley < idle_peak / 2
+        assert valley < active_peak
+
+    def test_mid_quantiles_between_humps(self, power_sample):
+        # The paper: Moments Sketch errs in the mid quantiles because
+        # they fall between the humps.
+        q50, q75 = np.quantile(power_sample, [0.5, 0.75])
+        assert 0.3 < q50 < 1.5
+        assert q50 < q75
+
+    def test_three_decimal_quantisation(self, power_sample):
+        assert np.allclose(power_sample, np.round(power_sample, 3))
+
+    def test_heavy_repetition(self, power_sample):
+        _values, counts = np.unique(power_sample, return_counts=True)
+        # Quantisation makes single values repeat thousands of times.
+        assert counts.max() > 500
+
+    def test_moderate_positive_kurtosis(self, power_sample):
+        k = excess_kurtosis(power_sample)
+        assert 1.0 < k < 60.0

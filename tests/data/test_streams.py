@@ -1,0 +1,81 @@
+"""Unit tests for timestamped stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import Uniform
+from repro.data.streams import EventBatch, generate_stream
+from repro.errors import InvalidValueError
+
+
+class TestEventBatch:
+    def test_columns_must_align(self):
+        with pytest.raises(InvalidValueError):
+            EventBatch(
+                values=np.zeros(3),
+                event_times=np.zeros(2),
+                arrival_times=np.zeros(3),
+            )
+
+    def test_len(self):
+        batch = EventBatch(np.zeros(5), np.zeros(5), np.zeros(5))
+        assert len(batch) == 5
+
+    def test_in_arrival_order_sorts_stably(self):
+        batch = EventBatch(
+            values=np.asarray([1.0, 2.0, 3.0]),
+            event_times=np.asarray([0.0, 1.0, 2.0]),
+            arrival_times=np.asarray([9.0, 4.0, 4.0]),
+        )
+        ordered = batch.in_arrival_order()
+        assert ordered.values.tolist() == [2.0, 3.0, 1.0]
+
+
+class TestGenerateStream:
+    def test_event_count_from_rate_and_duration(self, rng):
+        batch = generate_stream(
+            Uniform(0, 1), 5_000.0, rng, rate_per_sec=2_000
+        )
+        assert len(batch) == 10_000
+
+    def test_paper_rate_and_window(self, rng):
+        # Sec 4.2: 50k events/s and 20 s windows = 1M per window.
+        batch = generate_stream(
+            Uniform(0, 1), 200.0, rng, rate_per_sec=50_000
+        )
+        assert len(batch) == 10_000  # 0.2 s worth
+
+    def test_no_delay_means_identical_times(self, rng):
+        batch = generate_stream(
+            Uniform(0, 1), 100.0, rng, rate_per_sec=1_000
+        )
+        assert np.array_equal(batch.event_times, batch.arrival_times)
+
+    def test_delay_mean(self, rng):
+        batch = generate_stream(
+            Uniform(0, 1), 10_000.0, rng,
+            rate_per_sec=5_000, delay_mean_ms=150.0,
+        )
+        delays = batch.arrival_times - batch.event_times
+        assert delays.mean() == pytest.approx(150.0, rel=0.1)
+        # Exponential: long tail present.
+        assert delays.max() > 500.0
+
+    def test_zero_delay_mean(self, rng):
+        batch = generate_stream(
+            Uniform(0, 1), 100.0, rng,
+            rate_per_sec=1_000, delay_mean_ms=0.0,
+        )
+        assert np.array_equal(batch.event_times, batch.arrival_times)
+
+    def test_validation(self, rng):
+        with pytest.raises(InvalidValueError):
+            generate_stream(Uniform(0, 1), -1.0, rng)
+        with pytest.raises(InvalidValueError):
+            generate_stream(Uniform(0, 1), 100.0, rng, rate_per_sec=0)
+        with pytest.raises(InvalidValueError):
+            generate_stream(
+                Uniform(0, 1), 100.0, rng, delay_mean_ms=-5.0
+            )
+        with pytest.raises(InvalidValueError):
+            generate_stream(Uniform(0, 1), 0.5, rng, rate_per_sec=1)

@@ -1,0 +1,86 @@
+"""Tests for the accuracy experiment runner (smoke scale)."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import Uniform
+from repro.errors import ExperimentError
+from repro.experiments.accuracy import run_accuracy, run_adaptability
+from repro.experiments.config import SCALES
+
+SMOKE = SCALES["smoke"]
+SKETCHES = ("ddsketch", "kll")
+
+
+@pytest.fixture(scope="module")
+def uniform_result():
+    return run_accuracy("uniform", SKETCHES, scale=SMOKE)
+
+
+class TestRunAccuracy:
+    def test_result_structure(self, uniform_result):
+        assert uniform_result.dataset == "uniform"
+        assert set(uniform_result.per_quantile) == set(SKETCHES)
+        for errors in uniform_result.per_quantile.values():
+            assert set(errors) == set(SMOKE.quantiles)
+            for ci in errors.values():
+                assert ci.n == SMOKE.num_runs
+                assert ci.mean >= 0
+
+    def test_grouping_present(self, uniform_result):
+        for groups in uniform_result.grouped.values():
+            assert set(groups) == {"mid", "upper", "p99"}
+
+    def test_uniform_is_easy_for_everyone(self, uniform_result):
+        # Fig 6b: every sketch beats the 1% threshold on uniform data
+        # (smoke-scale windows are small, so allow some headroom).
+        for sketch, groups in uniform_result.grouped.items():
+            assert groups["mid"] < 0.05, sketch
+
+    def test_no_delay_no_loss(self, uniform_result):
+        assert uniform_result.loss_fraction == 0.0
+
+    def test_delay_causes_loss(self):
+        result = run_accuracy(
+            "uniform", ("ddsketch",), scale=SMOKE, delay_mean_ms=150.0
+        )
+        assert result.loss_fraction > 0.0
+
+    def test_custom_distribution_accepted(self):
+        result = run_accuracy(
+            Uniform(5.0, 6.0), ("ddsketch",), scale=SMOKE
+        )
+        assert result.dataset == "uniform(5,6)"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_accuracy("stocks", SKETCHES, scale=SMOKE)
+
+    def test_window_override(self):
+        result = run_accuracy(
+            "uniform", ("ddsketch",), scale=SMOKE,
+            window_size_ms=1_000.0,
+        )
+        assert result.window_size_ms == 1_000.0
+
+    def test_deterministic(self, uniform_result):
+        again = run_accuracy("uniform", SKETCHES, scale=SMOKE)
+        for sketch in SKETCHES:
+            for q in SMOKE.quantiles:
+                assert again.per_quantile[sketch][q].mean == (
+                    uniform_result.per_quantile[sketch][q].mean
+                )
+
+    def test_to_table_renders(self, uniform_result):
+        table = uniform_result.to_table()
+        assert "ddsketch" in table
+        assert "q0.99" in table
+
+
+class TestRunAdaptability:
+    def test_structure_and_ddsketch_stability(self):
+        result = run_adaptability(("ddsketch", "moments"), scale=SMOKE)
+        assert result.dataset == "binomial->uniform"
+        # Fig 8b: DDSketch is unaffected by the distribution switch.
+        assert result.per_quantile["ddsketch"][0.5].mean < 0.02
+        assert "moments" in result.per_quantile

@@ -1,0 +1,46 @@
+"""Tests for the Fig 4 data-set profiler (smoke scale)."""
+
+import pytest
+
+from repro.experiments.config import SCALES
+from repro.experiments.datasets import profile_datasets, profiles_table
+
+SMOKE = SCALES["smoke"]
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return profile_datasets(scale=SMOKE)
+
+
+class TestProfiles:
+    def test_all_datasets_profiled(self, profiles):
+        assert set(profiles) == {"pareto", "uniform", "nyt", "power"}
+
+    def test_stats_match_scale(self, profiles):
+        for profile in profiles.values():
+            assert profile.stats["count"] == SMOKE.memory_points
+
+    def test_kurtosis_ordering(self, profiles):
+        # Fig 4: uniform is flat, Pareto extremely long-tailed.
+        assert profiles["uniform"].stats["kurtosis"] < 0
+        assert profiles["pareto"].stats["kurtosis"] > (
+            profiles["power"].stats["kurtosis"]
+        )
+
+    def test_histogram_shape(self, profiles):
+        for profile in profiles.values():
+            assert profile.histogram.sum() > 0
+            assert profile.bin_edges.size == profile.histogram.size + 1
+
+    def test_power_is_bimodal(self, profiles):
+        modes = profiles["power"].modes
+        assert len(modes) >= 2
+        # One mode in the idle hump, one in the active hump.
+        assert any(m < 0.8 for m in modes[:4])
+        assert any(m > 1.0 for m in modes[:4])
+
+    def test_table_renders(self, profiles):
+        table = profiles_table(profiles)
+        assert "kurtosis" in table
+        assert "nyt" in table

@@ -1,0 +1,116 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import (
+    BAR,
+    bar_chart,
+    grouped_bar_chart,
+    line_chart,
+)
+
+
+class TestBarChart:
+    def test_largest_value_fills_width(self):
+        chart = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = chart.splitlines()
+        assert BAR * 10 in lines[1]  # b's bar
+        assert BAR * 5 in lines[0]
+
+    def test_values_printed(self):
+        chart = bar_chart({"x": 0.1234})
+        assert "0.1234" in chart
+
+    def test_title(self):
+        chart = bar_chart({"x": 1.0}, title="My Figure")
+        assert chart.splitlines()[0] == "My Figure"
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart({"a": 1.0, "b": 1000.0}, width=30)
+        logged = bar_chart(
+            {"a": 1.0, "b": 1000.0}, width=30, log_scale=True
+        )
+        a_linear = linear.splitlines()[0].count(BAR)
+        a_logged = logged.splitlines()[0].count(BAR)
+        assert a_linear == 0
+        assert a_logged == 0  # a at the log floor
+        assert logged.splitlines()[1].count(BAR) == 30
+
+    def test_zero_value_with_log(self):
+        chart = bar_chart({"a": 0.0, "b": 1.0}, log_scale=True)
+        assert "0" in chart
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            bar_chart({})
+        with pytest.raises(ExperimentError):
+            bar_chart({"a": -1.0})
+
+
+class TestGroupedBarChart:
+    def test_shared_scale_across_groups(self):
+        chart = grouped_bar_chart(
+            {"g1": {"a": 1.0}, "g2": {"a": 2.0}}, width=10
+        )
+        lines = chart.splitlines()
+        g1_bar = lines[1].count(BAR)
+        g2_bar = lines[3].count(BAR)
+        assert g2_bar == 10
+        assert g1_bar == 5
+
+    def test_group_headers(self):
+        chart = grouped_bar_chart({"mid": {"kll": 0.1}})
+        assert "- mid" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            grouped_bar_chart({})
+
+
+class TestLineChart:
+    def test_markers_and_legend(self):
+        chart = line_chart(
+            {"kll": [(1.0, 1.0), (10.0, 2.0)],
+             "dds": [(1.0, 2.0), (10.0, 1.0)]},
+        )
+        assert "a=kll" in chart
+        assert "b=dds" in chart
+        assert "a" in chart.splitlines()[0] or any(
+            "a" in line for line in chart.splitlines()
+        )
+
+    def test_log_axes_filter_nonpositive(self):
+        chart = line_chart(
+            {"s": [(0.0, 1.0), (10.0, 1.0)]}, log_x=True
+        )
+        assert "s" in chart  # the positive point still drew
+
+    def test_axis_labels_reflect_range(self):
+        chart = line_chart(
+            {"s": [(1.0, 5.0), (100.0, 50.0)]}, log_x=True, log_y=True
+        )
+        assert "1" in chart and "100" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            line_chart({})
+        with pytest.raises(ExperimentError):
+            line_chart({"s": [(-1.0, 1.0)]}, log_x=True)
+
+    def test_single_point(self):
+        chart = line_chart({"s": [(1.0, 1.0)]})
+        assert "s" in chart
+
+
+class TestResultFigures:
+    def test_accuracy_figure_renders(self):
+        from repro.experiments.accuracy import run_accuracy
+        from repro.experiments.config import SCALES
+
+        result = run_accuracy(
+            "uniform", ("ddsketch",), scale=SCALES["smoke"]
+        )
+        figure = result.to_figure()
+        assert "- mid" in figure and "- p99" in figure
+        assert "ddsketch" in figure

@@ -1,0 +1,40 @@
+"""Tests for the Fig 7 kurtosis sweep (smoke scale)."""
+
+import pytest
+
+from repro.experiments.config import SCALES
+from repro.experiments.kurtosis_sweep import run_kurtosis_sweep
+
+SMOKE = SCALES["smoke"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_kurtosis_sweep(("ddsketch", "kll"), scale=SMOKE)
+
+
+class TestKurtosisSweep:
+    def test_covers_full_suite(self, result):
+        assert result.labels[0] == "uniform"
+        assert result.labels[-1] == "pareto"
+        assert len(result.labels) == 7
+
+    def test_measured_kurtosis_ordering(self, result):
+        assert result.measured_kurtosis["uniform"] < 0
+        assert result.measured_kurtosis["pareto"] > 50
+
+    def test_ddsketch_stable_across_kurtosis(self, result):
+        # Fig 7: DDSketch's error is distribution-independent.
+        for label in result.labels:
+            assert result.errors[label]["ddsketch"].mean <= 0.011, label
+
+    def test_kll_degrades_with_kurtosis(self, result):
+        # Fig 7: sampling error at the 0.98 quantile grows with skew.
+        kll_uniform = result.errors["uniform"]["kll"].mean
+        kll_pareto = result.errors["pareto"]["kll"].mean
+        assert kll_pareto > kll_uniform
+
+    def test_table_renders(self, result):
+        table = result.to_table()
+        assert "0.98" in table
+        assert "pareto" in table

@@ -1,0 +1,34 @@
+"""Tests for the Sec 4.6 late-data experiment (smoke scale)."""
+
+import pytest
+
+from repro.experiments.config import SCALES
+from repro.experiments.late_data import run_late_data
+
+SMOKE = SCALES["smoke"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_late_data(
+        datasets=("uniform",), sketches=("ddsketch",), scale=SMOKE,
+        delay_mean_ms=150.0,
+    )
+
+
+class TestLateData:
+    def test_delay_produces_loss(self, result):
+        assert result.with_delay["uniform"].loss_fraction > 0.0
+        assert result.without_delay["uniform"].loss_fraction == 0.0
+
+    def test_accuracy_survives_loss(self, result):
+        # Sec 4.6: losing a small share of events barely moves the
+        # error of a summary sketch.
+        delayed = result.with_delay["uniform"].grouped["ddsketch"]
+        ideal = result.without_delay["uniform"].grouped["ddsketch"]
+        assert delayed["mid"] < ideal["mid"] + 0.05
+
+    def test_table_renders(self, result):
+        table = result.to_table()
+        assert "mid(late)" in table
+        assert "uniform" in table

@@ -1,0 +1,44 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from repro.experiments.reporting import format_seconds, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["a", 1.0], ["longer-name", 22.5]],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        header, rule, row1, row2 = lines
+        assert header.index("value") == row1.index("1")
+
+    def test_title(self):
+        table = format_table(["h"], [["x"]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.000123], [1234567.0], [0.5]])
+        assert "0.000123" in table
+        assert "1.23e+06" in table
+        assert "0.5" in table
+
+    def test_zero(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+
+class TestFormatSeconds:
+    def test_units(self):
+        assert format_seconds(2.5e-9).endswith("ns")
+        assert format_seconds(3.2e-6).endswith("us")
+        assert format_seconds(4.5e-3).endswith("ms")
+        assert format_seconds(1.5).endswith("s")
+
+    def test_values(self):
+        assert format_seconds(1e-6) == "1.00 us"
+        assert format_seconds(0.25) == "250.00 ms"

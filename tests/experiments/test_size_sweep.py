@@ -1,0 +1,48 @@
+"""Tests for the accuracy-vs-space sweep (smoke scale)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import SCALES
+from repro.experiments.size_sweep import SWEEPS, run_size_sweep
+
+SMOKE = SCALES["smoke"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_size_sweep(("ddsketch", "moments"), scale=SMOKE)
+
+
+class TestSizeSweep:
+    def test_curve_structure(self, result):
+        assert set(result.curves) == {"ddsketch", "moments"}
+        for sketch, curve in result.curves.items():
+            assert len(curve) == len(SWEEPS[sketch])
+            for label, size, error in curve:
+                assert size > 0
+                assert error >= 0
+
+    def test_ddsketch_monotone(self, result):
+        assert result.is_tradeoff_monotone("ddsketch")
+
+    def test_tighter_alpha_needs_more_space(self, result):
+        curve = result.curves["ddsketch"]
+        sizes = [size for _label, size, _err in curve]
+        # SWEEPS orders alphas loosest -> tightest.
+        assert sizes == sorted(sizes)
+
+    def test_more_moments_cost_bytes_linearly(self, result):
+        curve = result.curves["moments"]
+        sizes = [size for _label, size, _err in curve]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] - sizes[0] == (15 - 4) * 8
+
+    def test_unknown_sketch_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_size_sweep(("exact",), scale=SMOKE)
+
+    def test_table_renders(self, result):
+        table = result.to_table()
+        assert "bytes" in table
+        assert "a=0.01" in table

@@ -1,0 +1,121 @@
+"""Tests for the Table 4 summary derivation."""
+
+import pytest
+
+from repro.experiments.accuracy import AccuracyResult
+from repro.experiments.speed import SpeedResult
+from repro.experiments.summary import (
+    SKETCHING_APPROACH,
+    build_summary,
+    grade_accuracy,
+    grade_adaptability,
+    grade_speed,
+)
+from repro.metrics.stats import MeanWithCI
+
+
+def speed(times: dict[str, float]) -> SpeedResult:
+    return SpeedResult(operation="test", seconds_per_op=times)
+
+
+def accuracy(dataset: str, grouped: dict[str, dict[str, float]],
+             per_quantile=None) -> AccuracyResult:
+    return AccuracyResult(
+        dataset=dataset,
+        quantiles=(0.5,),
+        per_quantile=per_quantile or {
+            s: {0.5: MeanWithCI(g.get("mid", 0.0), 0.0, 1)}
+            for s, g in grouped.items()
+        },
+        grouped=grouped,
+    )
+
+
+class TestGradeSpeed:
+    def test_terciles(self):
+        grades = grade_speed(speed({
+            "a": 1e-6, "b": 2e-6, "c": 1e-5, "d": 2e-5, "e": 1e-4,
+        }))
+        assert grades["a"] == "High"
+        assert grades["e"] == "Low"
+        assert grades["c"] == "Medium"
+
+    def test_two_sketches(self):
+        grades = grade_speed(speed({"fast": 1e-6, "slow": 1e-4}))
+        assert grades["fast"] == "High"
+
+
+class TestGradeAccuracy:
+    def test_all_when_everywhere_accurate(self):
+        results = {
+            d: accuracy(d, {"dds": {"upper": 0.005}})
+            for d in ("pareto", "uniform", "nyt", "power")
+        }
+        assert grade_accuracy(results, "upper")["dds"] == "All"
+
+    def test_non_skewed_when_pareto_fails(self):
+        # Table 4: KLL's tail accuracy is graded "Non-Skewed".
+        grouped = {
+            "pareto": {"kll": {"upper": 0.3}},
+            "uniform": {"kll": {"upper": 0.002}},
+            "nyt": {"kll": {"upper": 0.004}},
+            "power": {"kll": {"upper": 0.3}},
+        }
+        results = {d: accuracy(d, g) for d, g in grouped.items()}
+        verdict = grade_accuracy(results, "upper")["kll"]
+        assert verdict != "All"
+
+    def test_synthetic_when_only_synthetic_passes(self):
+        grouped = {
+            "pareto": {"m": {"upper": 0.005}},
+            "uniform": {"m": {"upper": 0.005}},
+            "nyt": {"m": {"upper": 0.2}},
+            "power": {"m": {"upper": 0.2}},
+        }
+        results = {d: accuracy(d, g) for d, g in grouped.items()}
+        assert grade_accuracy(results, "upper")["m"] == "Synthetic"
+
+
+class TestGradeAdaptability:
+    def test_high_when_all_pass(self):
+        result = accuracy("shift", {}, per_quantile={
+            "dds": {0.25: MeanWithCI(0.001, 0, 1),
+                    0.5: MeanWithCI(0.002, 0, 1)},
+        })
+        assert grade_adaptability(result)["dds"] == "High"
+
+    def test_inconsistent_when_only_median_fails(self):
+        # Table 4: KLL/REQ fail only at the regime boundary.
+        result = accuracy("shift", {}, per_quantile={
+            "kll": {0.25: MeanWithCI(0.001, 0, 1),
+                    0.5: MeanWithCI(0.4, 0, 1)},
+        })
+        assert grade_adaptability(result)["kll"] == "Inconsistent"
+
+    def test_low_when_more_fails(self):
+        result = accuracy("shift", {}, per_quantile={
+            "m": {0.25: MeanWithCI(0.2, 0, 1),
+                  0.5: MeanWithCI(0.4, 0, 1)},
+        })
+        assert grade_adaptability(result)["m"] == "Low"
+
+
+class TestBuildSummary:
+    def test_assembles_table(self):
+        acc = {
+            d: accuracy(d, {
+                "dds": {"mid": 0.004, "upper": 0.004},
+                "kll": {"mid": 0.004, "upper": 0.2},
+            })
+            for d in ("pareto", "uniform", "nyt", "power")
+        }
+        adapt = accuracy("shift", {}, per_quantile={
+            "dds": {0.5: MeanWithCI(0.001, 0, 1)},
+            "kll": {0.5: MeanWithCI(0.4, 0, 1)},
+        })
+        fast = speed({"dds": 1e-6, "kll": 1e-5})
+        summary = build_summary(acc, fast, fast, fast, adapt)
+        assert summary.approach == SKETCHING_APPROACH
+        table = summary.to_table(("kll", "dds"))
+        assert "Sketching approach" in table
+        assert "Adaptability" in table

@@ -1,0 +1,37 @@
+"""Tests for the Sec 4.7 window-size sensitivity runner (smoke scale)."""
+
+import pytest
+
+from repro.experiments.config import SCALES
+from repro.experiments.window_size import run_window_size
+
+SMOKE = SCALES["smoke"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_window_size(
+        datasets=("uniform",), sketches=("ddsketch",), scale=SMOKE,
+        window_sizes_s=(1.0, 2.0),
+    )
+
+
+class TestWindowSize:
+    def test_structure(self, result):
+        assert set(result.results) == {"uniform"}
+        assert set(result.results["uniform"]) == {1.0, 2.0}
+
+    def test_overall_error_finite(self, result):
+        for size in (1.0, 2.0):
+            err = result.overall_error("uniform", size, "ddsketch")
+            assert 0 <= err < 0.05
+
+    def test_ddsketch_insensitive_to_window_size(self, result):
+        # Sec 4.7: DD/UDD errors are consistent across window sizes.
+        trend = result.trend("uniform", "ddsketch")
+        assert abs(trend) < 0.01
+
+    def test_table_renders(self, result):
+        table = result.to_table()
+        assert "1s" in table and "2s" in table
+        assert "trend" in table

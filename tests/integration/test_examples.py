@@ -1,0 +1,43 @@
+"""Every example script must run clean end to end.
+
+The examples are part of the public deliverable; this test executes
+each one in a subprocess (so module-level scripts, ``__main__`` guards
+and prints all behave exactly as for a user) and checks for a zero
+exit and the expected headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: script -> a fragment its stdout must contain.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "restored: OK",
+    "web_latency_monitoring.py": "ALERT: p99 degraded",
+    "distributed_quantiles.py": "saves",
+    "late_data_pipeline.py": "allowed lateness recovered",
+    "sketch_comparison.py": "uddsketch",
+    "turnstile_deletions.py": "different question",
+    "reproducible_replay.py": "conformance: OK",
+}
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script] in completed.stdout

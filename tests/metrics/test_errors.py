@@ -1,0 +1,110 @@
+"""Unit tests for error metrics (Sec 2.2 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.metrics.errors import (
+    MID_QUANTILES,
+    PAPER_QUANTILES,
+    UPPER_QUANTILES,
+    grouped_errors,
+    rank_error,
+    relative_error,
+    true_quantile,
+)
+
+#: The paper's running example data set (Table 1).
+TABLE1 = np.asarray([3, 8, 11, 14, 16, 19, 25, 29, 30, 51], dtype=float)
+
+
+class TestRelativeError:
+    def test_papers_worked_example(self):
+        # Sec 2.2: true 0.9-quantile 30, estimate 18 -> 40% relative.
+        assert relative_error(30.0, 18.0) == pytest.approx(0.4)
+
+    def test_exact_estimate_is_zero(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_symmetric_in_magnitude(self):
+        assert relative_error(10.0, 12.0) == pytest.approx(0.2)
+        assert relative_error(10.0, 8.0) == pytest.approx(0.2)
+
+    def test_negative_true_value(self):
+        assert relative_error(-10.0, -8.0) == pytest.approx(0.2)
+
+    def test_zero_true_value(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        with pytest.raises(InvalidValueError):
+            relative_error(0.0, 1.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(InvalidValueError):
+            relative_error(float("nan"), 1.0)
+
+
+class TestRankError:
+    def test_papers_worked_example_structure(self):
+        # Sec 2.2's example: an estimate one rank below the true 0.9
+        # quantile has rank error 0.1.  (On this data set 29 is the
+        # rank-8 item just below the rank-9 true quantile 30.)
+        assert rank_error(TABLE1, 0.9, 29.0) == pytest.approx(0.1)
+
+    def test_exact_estimate(self):
+        assert rank_error(TABLE1, 0.9, 30.0) == pytest.approx(0.0)
+
+    def test_rank_vs_relative_disagree_on_tails(self):
+        # The motivating observation of Sec 2.2: a tiny rank error can
+        # be a large relative error at the tail.
+        rank = rank_error(TABLE1, 0.9, 29.0)
+        relative = relative_error(30.0, 18.0)
+        assert rank == pytest.approx(0.1)
+        assert relative == pytest.approx(0.4)
+        assert relative > rank
+
+    def test_validation(self):
+        with pytest.raises(InvalidValueError):
+            rank_error(np.zeros(0), 0.5, 1.0)
+        with pytest.raises(InvalidValueError):
+            rank_error(TABLE1, 0.0, 1.0)
+
+
+class TestTrueQuantile:
+    def test_table1_values(self):
+        # Table 1: Quantile^-1 mapping of the example data.
+        for q, expected in zip(
+            (0.1, 0.2, 0.5, 0.9, 1.0), (3, 8, 16, 30, 51)
+        ):
+            assert true_quantile(TABLE1, q) == expected
+
+    def test_rounds_rank_up(self):
+        assert true_quantile(TABLE1, 0.05) == 3
+        assert true_quantile(TABLE1, 0.11) == 8
+
+    def test_validation(self):
+        with pytest.raises(InvalidValueError):
+            true_quantile(np.zeros(0), 0.5)
+        with pytest.raises(InvalidValueError):
+            true_quantile(TABLE1, 1.5)
+
+
+class TestGrouping:
+    def test_paper_quantile_sets(self):
+        # Sec 4.2 defines the groups.
+        assert MID_QUANTILES == (0.05, 0.25, 0.5, 0.75, 0.9)
+        assert UPPER_QUANTILES == (0.95, 0.98)
+        assert set(MID_QUANTILES + UPPER_QUANTILES + (0.99,)) == set(
+            PAPER_QUANTILES
+        )
+
+    def test_grouped_errors_means(self):
+        errors = {q: 0.01 for q in MID_QUANTILES}
+        errors.update({0.95: 0.02, 0.98: 0.04, 0.99: 0.5})
+        groups = grouped_errors(errors)
+        assert groups["mid"] == pytest.approx(0.01)
+        assert groups["upper"] == pytest.approx(0.03)
+        assert groups["p99"] == pytest.approx(0.5)
+
+    def test_partial_quantiles(self):
+        groups = grouped_errors({0.5: 0.1})
+        assert groups == {"mid": pytest.approx(0.1)}

@@ -1,0 +1,36 @@
+"""Unit tests for memory accounting."""
+
+import pytest
+
+from repro.core import DDSketch, MomentsSketch
+from repro.metrics.memory import compression_ratio, sketch_size_kb
+
+
+class TestSketchSizeKB:
+    def test_moments_is_tiny(self, rng):
+        # Table 3: Moments Sketch is 0.14 KB regardless of data.
+        sketch = MomentsSketch(num_moments=12)
+        sketch.update_batch(rng.uniform(1, 10, 100_000))
+        assert sketch_size_kb(sketch) == pytest.approx(0.14, abs=0.03)
+
+    def test_kb_conversion(self, rng):
+        sketch = DDSketch()
+        sketch.update_batch(rng.uniform(1, 10, 1_000))
+        assert sketch_size_kb(sketch) == sketch.size_bytes() / 1000.0
+
+
+class TestCompressionRatio:
+    def test_empty_sketch(self):
+        assert compression_ratio(DDSketch()) == 0.0
+
+    def test_grows_with_stream_length(self, rng):
+        sketch = DDSketch()
+        sketch.update_batch(rng.uniform(1, 10, 1_000))
+        small = compression_ratio(sketch)
+        sketch.update_batch(rng.uniform(1, 10, 99_000))
+        assert compression_ratio(sketch) > small
+
+    def test_sketch_actually_compresses(self, rng):
+        sketch = DDSketch()
+        sketch.update_batch(rng.uniform(1, 10, 1_000_000))
+        assert compression_ratio(sketch) > 1_000

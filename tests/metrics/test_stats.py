@@ -1,0 +1,91 @@
+"""Unit tests for statistical helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.metrics.stats import (
+    MeanWithCI,
+    excess_kurtosis,
+    mean_with_ci,
+    summarize,
+)
+
+
+class TestMeanWithCI:
+    def test_single_sample_zero_width(self):
+        ci = mean_with_ci(np.asarray([5.0]))
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+        assert ci.n == 1
+
+    def test_constant_samples_zero_width(self):
+        ci = mean_with_ci(np.full(10, 3.0))
+        assert ci.mean == 3.0
+        assert ci.half_width == pytest.approx(0.0)
+
+    def test_width_shrinks_with_sample_size(self, rng):
+        small = mean_with_ci(rng.normal(0, 1, 10))
+        large = mean_with_ci(rng.normal(0, 1, 1_000))
+        assert large.half_width < small.half_width
+
+    def test_covers_true_mean_usually(self, rng):
+        # ~95% coverage: over 200 trials, at least 85% must cover.
+        covered = 0
+        for _ in range(200):
+            samples = rng.normal(10.0, 2.0, 20)
+            ci = mean_with_ci(samples)
+            if ci.low <= 10.0 <= ci.high:
+                covered += 1
+        assert covered >= 170
+
+    def test_overlap_detection(self):
+        a = MeanWithCI(1.0, 0.5, 10)
+        b = MeanWithCI(1.8, 0.4, 10)
+        c = MeanWithCI(3.0, 0.2, 10)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_str_renders(self):
+        assert "±" in str(MeanWithCI(1.0, 0.1, 5))
+
+    def test_validation(self):
+        with pytest.raises(InvalidValueError):
+            mean_with_ci(np.zeros(0))
+        with pytest.raises(InvalidValueError):
+            mean_with_ci(np.ones(3), confidence=1.5)
+
+
+class TestKurtosis:
+    def test_normal_is_zero(self, rng):
+        k = excess_kurtosis(rng.normal(0, 1, 500_000))
+        assert abs(k) < 0.1
+
+    def test_uniform_is_minus_1_2(self, rng):
+        k = excess_kurtosis(rng.uniform(0, 1, 500_000))
+        assert k == pytest.approx(-1.2, abs=0.05)
+
+    def test_heavy_tail_is_large(self, rng):
+        k = excess_kurtosis(1.0 + rng.pareto(1.0, 100_000))
+        assert k > 100
+
+    def test_needs_samples(self):
+        with pytest.raises(InvalidValueError):
+            excess_kurtosis(np.ones(3))
+
+
+class TestSummarize:
+    def test_fields(self, rng):
+        stats = summarize(rng.uniform(0, 1, 10_000))
+        assert set(stats) == {
+            "count", "mean", "std", "min", "p25", "median", "p75",
+            "max", "kurtosis",
+        }
+        assert stats["count"] == 10_000
+        assert stats["min"] <= stats["p25"] <= stats["median"]
+        assert stats["median"] <= stats["p75"] <= stats["max"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidValueError):
+            summarize(np.zeros(0))

@@ -1,0 +1,379 @@
+"""Unit tests for the streaming engine."""
+
+import numpy as np
+import pytest
+
+from repro.data.streams import EventBatch
+from repro.errors import PipelineError
+from repro.streaming import (
+    BoundedOutOfOrdernessWatermarks,
+    CollectingAggregator,
+    CountAggregator,
+    Event,
+    SessionWindows,
+    SlidingEventTimeWindows,
+    StreamEnvironment,
+    TumblingEventTimeWindows,
+    WindowSpan,
+    run_tumbling_batch,
+    window_values,
+)
+
+
+def make_batch(values, event_times, arrival_times=None):
+    values = np.asarray(values, dtype=np.float64)
+    event_times = np.asarray(event_times, dtype=np.float64)
+    if arrival_times is None:
+        arrival_times = event_times.copy()
+    else:
+        arrival_times = np.asarray(arrival_times, dtype=np.float64)
+    return EventBatch(values, event_times, arrival_times)
+
+
+class TestTumblingAggregation:
+    def test_windows_partition_events(self):
+        batch = make_batch(
+            values=[1, 2, 3, 4, 5, 6],
+            event_times=[0, 500, 999, 1000, 1500, 2100],
+        )
+        env = StreamEnvironment()
+        report = (
+            env.from_batch(batch)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(CollectingAggregator())
+        )
+        assert report.total_events == 6
+        assert report.dropped_late == 0
+        windows = {r.window: r.result.tolist() for r in report.results}
+        assert windows[WindowSpan(0.0, 1000.0)] == [1, 2, 3]
+        assert windows[WindowSpan(1000.0, 2000.0)] == [4, 5]
+        assert windows[WindowSpan(2000.0, 3000.0)] == [6]
+
+    def test_event_counts_per_window(self):
+        batch = make_batch([1, 2, 3], [0, 1, 1001])
+        env = StreamEnvironment()
+        report = (
+            env.from_batch(batch)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(CountAggregator())
+        )
+        counts = {r.window.start: r.result for r in report.results}
+        assert counts == {0.0: 2, 1000.0: 1}
+
+    def test_requires_aggregator(self):
+        env = StreamEnvironment()
+        stream = env.from_events([]).window(
+            TumblingEventTimeWindows(10.0)
+        )
+        with pytest.raises(PipelineError):
+            stream.aggregate(None)
+
+
+class TestLateEvents:
+    def test_late_event_dropped_after_window_fires(self):
+        # Event with event_time 500 arrives after the watermark (driven
+        # by the event at t=1500) has passed its window's end.
+        batch = make_batch(
+            values=[1, 2, 3],
+            event_times=[0, 1500, 500],
+            arrival_times=[0, 10, 20],
+        )
+        env = StreamEnvironment()
+        report = (
+            env.from_batch(batch)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(CollectingAggregator(), collect_late=True)
+        )
+        assert report.dropped_late == 1
+        assert report.late_events[0].value == 3.0
+        first = next(
+            r for r in report.results if r.window.start == 0.0
+        )
+        assert first.result.tolist() == [1.0]
+
+    def test_allowed_lateness_recovers_event(self):
+        batch = make_batch(
+            values=[1, 2, 3],
+            event_times=[0, 1500, 500],
+            arrival_times=[0, 10, 20],
+        )
+        env = StreamEnvironment()
+        report = (
+            env.from_batch(batch)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(CollectingAggregator(), allowed_lateness_ms=600.0)
+        )
+        assert report.dropped_late == 0
+        first = next(
+            r for r in report.results if r.window.start == 0.0
+        )
+        assert first.result.tolist() == [1.0, 3.0]
+
+    def test_bounded_out_of_orderness_tolerates_disorder(self):
+        batch = make_batch(
+            values=[1, 2, 3],
+            event_times=[0, 1500, 900],
+            arrival_times=[0, 10, 20],
+        )
+        env = StreamEnvironment()
+        strict = (
+            env.from_batch(batch)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(CollectingAggregator())
+        )
+        assert strict.dropped_late == 1
+        tolerant = (
+            env.from_batch(batch)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(
+                CollectingAggregator(),
+                watermarks=BoundedOutOfOrdernessWatermarks(600.0),
+            )
+        )
+        assert tolerant.dropped_late == 0
+
+    def test_loss_fraction(self):
+        batch = make_batch(
+            values=[1, 2, 3, 4],
+            event_times=[0, 1500, 500, 700],
+            arrival_times=[0, 1, 2, 3],
+        )
+        env = StreamEnvironment()
+        report = (
+            env.from_batch(batch)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(CountAggregator())
+        )
+        assert report.loss_fraction == pytest.approx(0.5)
+
+
+class TestTransformations:
+    def test_map_values(self):
+        batch = make_batch([1, 2, 3], [0, 1, 2])
+        env = StreamEnvironment()
+        report = (
+            env.from_batch(batch)
+            .map_values(lambda v: v * 10)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(CollectingAggregator())
+        )
+        assert report.results[0].result.tolist() == [10.0, 20.0, 30.0]
+
+    def test_filter(self):
+        batch = make_batch([1, 2, 3, 4], [0, 1, 2, 3])
+        env = StreamEnvironment()
+        report = (
+            env.from_batch(batch)
+            .filter(lambda e: e.value % 2 == 0)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(CollectingAggregator())
+        )
+        assert report.results[0].result.tolist() == [2.0, 4.0]
+
+    def test_key_by_partitions_windows(self):
+        batch = make_batch([1, 2, 3, 4], [0, 1, 2, 3])
+        env = StreamEnvironment()
+        report = (
+            env.from_batch(batch)
+            .key_by(lambda e: "even" if e.value % 2 == 0 else "odd")
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(CollectingAggregator())
+        )
+        by_key = {r.key: r.result.tolist() for r in report.results}
+        assert by_key == {"even": [2.0, 4.0], "odd": [1.0, 3.0]}
+
+    def test_union_merges_streams(self):
+        a = make_batch([1.0], [0.0], [5.0])
+        b = make_batch([2.0], [1.0], [3.0])
+        env = StreamEnvironment()
+        union = env.from_batch(a).union(env.from_batch(b))
+        events = list(union)
+        assert [e.value for e in events] == [2.0, 1.0]
+
+    def test_map_full_events(self):
+        batch = make_batch([1.0], [0.0])
+        env = StreamEnvironment()
+        stream = env.from_batch(batch).map(
+            lambda e: Event(e.value + 1, e.event_time, e.arrival_time)
+        )
+        assert list(stream)[0].value == 2.0
+
+
+class TestSlidingWindows:
+    def test_event_lands_in_all_overlapping_windows(self):
+        batch = make_batch([1.0], [900.0])
+        env = StreamEnvironment()
+        report = (
+            env.from_batch(batch)
+            .window(SlidingEventTimeWindows(1_000.0, 500.0))
+            .aggregate(CountAggregator())
+        )
+        assert len(report.results) == 2
+        starts = sorted(r.window.start for r in report.results)
+        assert starts == [0.0, 500.0]
+
+
+class TestSessionWindows:
+    def test_bursts_merge_into_sessions(self):
+        # Two bursts separated by more than the 100 ms gap.
+        times = [0, 50, 90, 500, 560]
+        batch = make_batch(list(range(5)), times)
+        env = StreamEnvironment()
+        report = (
+            env.from_batch(batch)
+            .window(SessionWindows(100.0))
+            .aggregate(CountAggregator())
+        )
+        counts = sorted(r.result for r in report.results)
+        assert counts == [2, 3]
+
+    def test_session_span_covers_burst(self):
+        batch = make_batch([1, 2], [0, 80])
+        env = StreamEnvironment()
+        report = (
+            env.from_batch(batch)
+            .window(SessionWindows(100.0))
+            .aggregate(CountAggregator())
+        )
+        [result] = report.results
+        assert result.window.start == 0.0
+        assert result.window.end == 180.0
+
+
+class TestVectorisedPath:
+    def test_empty_batch(self):
+        batch = make_batch([], [])
+        report = run_tumbling_batch(batch, 1_000.0, CountAggregator())
+        assert report.total_events == 0
+        assert report.results == []
+
+    def test_matches_general_path(self, rng):
+        # The central semantic property: both executors agree exactly.
+        n = 3_000
+        event_times = np.sort(rng.uniform(0, 10_000, n))
+        batch = EventBatch(
+            values=rng.uniform(0, 100, n),
+            event_times=event_times,
+            arrival_times=event_times + rng.exponential(200.0, n),
+        )
+        env = StreamEnvironment()
+        general = (
+            env.from_batch(batch)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(CollectingAggregator())
+        )
+        fast = run_tumbling_batch(batch, 1_000.0, CollectingAggregator())
+        assert general.total_events == fast.total_events
+        assert general.dropped_late == fast.dropped_late
+        general_map = {
+            r.window: r.result.tolist()
+            for r in general.results
+            if r.result.size
+        }
+        fast_map = {r.window: r.result.tolist() for r in fast.results}
+        assert general_map == fast_map
+
+    def test_matches_general_path_with_lateness_and_bound(self, rng):
+        n = 2_000
+        event_times = np.sort(rng.uniform(0, 5_000, n))
+        batch = EventBatch(
+            values=rng.uniform(0, 1, n),
+            event_times=event_times,
+            arrival_times=event_times + rng.exponential(300.0, n),
+        )
+        env = StreamEnvironment()
+        general = (
+            env.from_batch(batch)
+            .window(TumblingEventTimeWindows(500.0))
+            .aggregate(
+                CountAggregator(),
+                watermarks=BoundedOutOfOrdernessWatermarks(100.0),
+                allowed_lateness_ms=250.0,
+            )
+        )
+        fast = run_tumbling_batch(
+            batch, 500.0, CountAggregator(),
+            out_of_orderness_ms=100.0, allowed_lateness_ms=250.0,
+        )
+        assert general.dropped_late == fast.dropped_late
+        general_counts = {
+            r.window: r.result for r in general.results if r.result
+        }
+        fast_counts = {r.window: r.result for r in fast.results}
+        assert general_counts == fast_counts
+
+    def test_window_values_consistent_with_report(self, rng):
+        n = 1_000
+        event_times = np.sort(rng.uniform(0, 3_000, n))
+        batch = EventBatch(
+            values=rng.uniform(0, 1, n),
+            event_times=event_times,
+            arrival_times=event_times + rng.exponential(100.0, n),
+        )
+        report = run_tumbling_batch(batch, 1_000.0, CountAggregator())
+        truth = window_values(batch, 1_000.0)
+        for result in report.results:
+            assert truth[result.window].size == result.result
+
+    def test_all_late(self):
+        # Second event's watermark already passed the first's window.
+        batch = make_batch(
+            values=[1, 2],
+            event_times=[5_000, 100],
+            arrival_times=[0, 1],
+        )
+        report = run_tumbling_batch(batch, 1_000.0, CountAggregator())
+        assert report.dropped_late == 1
+
+
+class TestIngestionTimeWindows:
+    def test_no_late_events_in_ingestion_time(self):
+        # The same disordered stream that loses an event in event time
+        # loses nothing in ingestion time (Sec 2.5's trade-off).
+        batch = make_batch(
+            values=[1, 2, 3],
+            event_times=[0, 1500, 500],
+            arrival_times=[0, 10, 20],
+        )
+        env = StreamEnvironment()
+        event_time = (
+            env.from_batch(batch)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(CountAggregator())
+        )
+        ingestion_time = (
+            env.from_batch(batch)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(
+                CountAggregator(), time_characteristic="ingestion"
+            )
+        )
+        assert event_time.dropped_late == 1
+        assert ingestion_time.dropped_late == 0
+        assert sum(r.result for r in ingestion_time.results) == 3
+
+    def test_ingestion_windows_group_by_arrival(self):
+        batch = make_batch(
+            values=[1, 2],
+            event_times=[0.0, 1.0],       # same event-time window
+            arrival_times=[0.0, 5_000.0],  # different arrival windows
+        )
+        env = StreamEnvironment()
+        report = (
+            env.from_batch(batch)
+            .window(TumblingEventTimeWindows(1_000.0))
+            .aggregate(
+                CountAggregator(), time_characteristic="ingestion"
+            )
+        )
+        assert len(report.results) == 2
+
+    def test_unknown_characteristic_rejected(self):
+        env = StreamEnvironment()
+        stream = env.from_batch(make_batch([1.0], [0.0])).window(
+            TumblingEventTimeWindows(10.0)
+        )
+        with pytest.raises(PipelineError):
+            stream.aggregate(
+                CountAggregator(), time_characteristic="wallclock"
+            )

@@ -1,0 +1,58 @@
+"""Unit tests for the event model."""
+
+import numpy as np
+
+from repro.data.streams import EventBatch
+from repro.streaming.events import Event, events_from_batch
+
+
+class TestEvent:
+    def test_network_delay(self):
+        event = Event(1.0, event_time=100.0, arrival_time=130.0)
+        assert event.network_delay == 30.0
+
+    def test_with_key(self):
+        event = Event(1.0, 0.0, 0.0)
+        keyed = event.with_key("sensor-1")
+        assert keyed.key == "sensor-1"
+        assert keyed.value == event.value
+        assert event.key is None  # original untouched
+
+    def test_frozen(self):
+        event = Event(1.0, 0.0, 0.0)
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.value = 2.0
+
+
+class TestEventsFromBatch:
+    def test_yields_in_arrival_order(self):
+        batch = EventBatch(
+            values=np.asarray([1.0, 2.0, 3.0]),
+            event_times=np.asarray([0.0, 10.0, 20.0]),
+            arrival_times=np.asarray([50.0, 12.0, 21.0]),
+        )
+        events = list(events_from_batch(batch))
+        assert [e.value for e in events] == [2.0, 3.0, 1.0]
+        arrivals = [e.arrival_time for e in events]
+        assert arrivals == sorted(arrivals)
+
+    def test_key_applied(self):
+        batch = EventBatch(
+            values=np.asarray([1.0]),
+            event_times=np.asarray([0.0]),
+            arrival_times=np.asarray([0.0]),
+        )
+        [event] = events_from_batch(batch, key="k")
+        assert event.key == "k"
+
+    def test_types_are_python_floats(self):
+        batch = EventBatch(
+            values=np.asarray([1.5]),
+            event_times=np.asarray([2.0]),
+            arrival_times=np.asarray([3.0]),
+        )
+        [event] = events_from_batch(batch)
+        assert isinstance(event.value, float)
+        assert isinstance(event.event_time, float)

@@ -1,0 +1,99 @@
+"""Tests for the continuously-queryable sliding-window sketch."""
+
+import numpy as np
+import pytest
+
+from repro.core import DDSketch, KLLSketch
+from repro.errors import EmptySketchError, InvalidValueError
+from repro.streaming.windowed_sketch import SlidingWindowSketch
+
+
+def make(window_ms=10_000.0, num_panes=10):
+    return SlidingWindowSketch(
+        lambda: DDSketch(alpha=0.01), window_ms, num_panes
+    )
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(InvalidValueError):
+            SlidingWindowSketch(DDSketch, 0.0)
+        with pytest.raises(InvalidValueError):
+            SlidingWindowSketch(DDSketch, 100.0, num_panes=0)
+
+    def test_empty_query_raises(self):
+        with pytest.raises(EmptySketchError):
+            make().quantile(0.5)
+
+    def test_single_value(self):
+        sketch = make()
+        sketch.record(42.0, 0.0)
+        assert sketch.quantile(0.5) == pytest.approx(42.0, rel=0.01)
+        assert sketch.count == 1
+
+
+class TestWindowing:
+    def test_old_values_age_out(self):
+        sketch = make(window_ms=10_000.0, num_panes=10)
+        for t in range(10):
+            sketch.record(1.0, t * 1_000.0)
+        assert sketch.quantile(0.9) == pytest.approx(1.0, rel=0.02)
+        # 30 seconds later, record new values: old panes evicted.
+        for t in range(30, 40):
+            sketch.record(100.0, t * 1_000.0)
+        assert sketch.quantile(0.1) == pytest.approx(100.0, rel=0.02)
+        assert sketch.count == 10
+
+    def test_query_reflects_only_horizon(self, rng):
+        sketch = make(window_ms=5_000.0, num_panes=5)
+        # First 5 s: small values; next 5 s: large ones.
+        for i, value in enumerate(rng.uniform(1, 2, 500)):
+            sketch.record(float(value), i * 10.0)
+        for i, value in enumerate(rng.uniform(100, 200, 500)):
+            sketch.record(float(value), 5_000.0 + i * 10.0)
+        # The horizon is pane-quantised, so at most one trailing pane
+        # of the small regime remains visible; beyond its share the
+        # distribution is the large regime.
+        assert sketch.quantile(0.25) > 50
+        assert sketch.quantile(0.05) < 50  # the trailing pane's share
+
+    def test_too_old_records_ignored(self):
+        sketch = make(window_ms=1_000.0, num_panes=4)
+        sketch.record(5.0, 10_000.0)
+        sketch.record(1.0, 100.0)  # far behind the newest timestamp
+        assert sketch.count == 1
+
+    def test_modest_out_of_order_accepted(self):
+        sketch = make(window_ms=10_000.0, num_panes=10)
+        sketch.record(1.0, 5_000.0)
+        sketch.record(2.0, 4_500.0)  # late but within horizon
+        assert sketch.count == 2
+
+
+class TestResourceBounds:
+    def test_pane_count_bounded(self, rng):
+        sketch = make(window_ms=10_000.0, num_panes=8)
+        for i in range(20_000):
+            sketch.record(float(rng.uniform(1, 10)), i * 5.0)
+        assert sketch.num_active_panes <= 8 + 1
+        assert sketch.size_bytes() < 100_000
+
+    def test_accuracy_preserved_through_pane_merging(self, rng):
+        sketch = make(window_ms=100_000.0, num_panes=10)
+        values = rng.uniform(1, 1_000, 10_000)
+        for i, value in enumerate(values):
+            sketch.record(float(value), i * 10.0)
+        s = np.sort(values)
+        for q in (0.25, 0.5, 0.99):
+            true = float(s[int(np.ceil(q * s.size)) - 1])
+            assert abs(sketch.quantile(q) - true) / true <= 0.0101, q
+
+    def test_works_with_sampling_sketches(self, rng):
+        sketch = SlidingWindowSketch(
+            lambda: KLLSketch(max_compactor_size=128, seed=0),
+            window_ms=5_000.0,
+            num_panes=5,
+        )
+        for i in range(5_000):
+            sketch.record(float(rng.uniform(0, 1)), i * 2.0)
+        assert 0 <= sketch.quantile(0.5) <= 1
