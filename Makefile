@@ -1,0 +1,17 @@
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test-fast test-all bench-parallel
+
+# Tier-1 gate: everything except tests marked `slow` (pyproject's
+# addopts already applies -m 'not slow').
+test-fast:
+	$(PYTEST) -x -q
+
+# Full suite, soak tests included (-m on the command line overrides
+# the addopts filter).
+test-all:
+	$(PYTEST) -q -m "slow or not slow"
+
+bench-parallel:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_parallel_scaling.py

@@ -1,0 +1,84 @@
+"""Parallel ingestion scaling — throughput vs. shard count.
+
+Not a paper figure: the paper's speed runs (Sec 5.3) are
+single-threaded, and this benchmark measures what the mergeability it
+emphasises buys when exploited by
+:class:`repro.parallel.ParallelIngestor`.  It sweeps shard counts per
+backend and writes a JSON report (``parallel_scaling.json``) through
+the standard export machinery.
+
+The speedup assertion is gated on the machine actually offering
+parallel hardware: with ``cpus >= 4`` we require >= 1.5x single-shard
+throughput at 4 process shards for an ingestion-bound sketch (KLL);
+on smaller runners the shards time-slice one core, no implementation
+can beat serial, and only the end-to-end/consistency checks apply
+(the report still records ``cpus`` so readers can tell which regime
+produced it).
+
+Run standalone with ``python benchmarks/bench_parallel_scaling.py
+[--output DIR]`` or through pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.export import write_json
+from repro.experiments.parallel_scaling import (
+    run_parallel_scaling,
+)
+
+#: Gate for the real-speedup assertion.
+MIN_CPUS_FOR_SPEEDUP = 4
+REQUIRED_SPEEDUP = 1.5
+
+
+def _check(result) -> None:
+    for sketch, curve in result.throughput.items():
+        assert all(rate > 0 for rate in curve.values()), sketch
+    if result.cpus >= MIN_CPUS_FOR_SPEEDUP:
+        best = max(
+            result.speedup(sketch, 4)
+            for sketch in result.throughput
+            if 4 in result.throughput[sketch]
+        )
+        assert best >= REQUIRED_SPEEDUP, (
+            f"expected >= {REQUIRED_SPEEDUP}x at 4 process shards on a "
+            f"{result.cpus}-cpu machine, got {best:.2f}x"
+        )
+
+
+def bench_parallel_scaling(tmp_path):
+    from benchmarks.conftest import emit
+
+    result = run_parallel_scaling(backend="process")
+    emit(result.to_table())
+    path = write_json(result, tmp_path / "parallel_scaling.json")
+    assert path.exists()
+    _check(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Parallel ingestion throughput vs. shard count"
+    )
+    parser.add_argument("--output", metavar="DIR", default=".")
+    parser.add_argument(
+        "--backend", default="process",
+        choices=("serial", "thread", "process"),
+    )
+    args = parser.parse_args(argv)
+    result = run_parallel_scaling(backend=args.backend)
+    print(result.to_table())
+    path = write_json(
+        result, Path(args.output) / "parallel_scaling.json"
+    )
+    print(f"\nwrote {path}")
+    _check(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -186,7 +186,8 @@ class TDigest(QuantileSketch):
             counts = np.concatenate(
                 [counts, np.ones(len(other._buffer), dtype=np.int64)]
             )
-        self._means, self._counts = self._compress(means, counts)
+        if means.size:  # merging two empty digests is a no-op
+            self._means, self._counts = self._compress(means, counts)
         self._merge_bookkeeping(other)
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.experiments.datasets import DatasetProfile
 from repro.experiments.kurtosis_sweep import KurtosisResult
 from repro.experiments.late_data import LateDataResult
 from repro.experiments.memory import MemoryResult
+from repro.experiments.parallel_scaling import ParallelScalingResult
 from repro.experiments.related_work import RelatedWorkResult
 from repro.experiments.size_sweep import SizeSweepResult
 from repro.experiments.speed import SpeedResult
@@ -141,6 +142,27 @@ def _related(result: RelatedWorkResult) -> dict[str, Any]:
     return {"kind": "related-work", "rows": result.rows}
 
 
+def _parallel_scaling(result: ParallelScalingResult) -> dict[str, Any]:
+    return {
+        "kind": "parallel-scaling",
+        "backend": result.backend,
+        "partitioner": result.partitioner,
+        "points": result.points,
+        "batch_size": result.batch_size,
+        "cpus": result.cpus,
+        "throughput_per_sec": {
+            sketch: {str(n): rate for n, rate in curve.items()}
+            for sketch, curve in result.throughput.items()
+        },
+        "speedups": {
+            sketch: {
+                str(n): result.speedup(sketch, n) for n in curve
+            }
+            for sketch, curve in result.throughput.items()
+        },
+    }
+
+
 def _size_sweep(result: SizeSweepResult) -> dict[str, Any]:
     return {
         "kind": "size-sweep",
@@ -165,6 +187,7 @@ _CONVERTERS = [
     (SummaryTable, _summary),
     (RelatedWorkResult, _related),
     (SizeSweepResult, _size_sweep),
+    (ParallelScalingResult, _parallel_scaling),
 ]
 
 

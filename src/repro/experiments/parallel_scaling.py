@@ -1,0 +1,153 @@
+"""Parallel-ingestion scaling experiment (beyond the paper).
+
+The paper's Fig 5 speed runs are single-threaded; this experiment
+measures what the mergeability the paper emphasises (Sec 2.4) buys when
+it is actually exploited: ingestion throughput of
+:class:`repro.parallel.ParallelIngestor` as a function of shard count,
+per backend.  The headline number is the speedup of N process shards
+over the single-shard run of the *same* driver, so pool and
+serialization overhead are charged to the parallel side.
+
+Expectations, encoded in ``benchmarks/bench_parallel_scaling.py``:
+sketches with per-element Python ``update`` loops (KLL, REQ) scale well
+under the process backend; numpy-vectorised ingesters (DDSketch) are so
+fast sequentially that shipping work to processes can cost more than it
+saves; the thread backend is GIL-bound and roughly flat.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.registry import paper_config
+from repro.experiments.config import (
+    BASE_SEED,
+    ExperimentScale,
+    current_scale,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.speed import SPEED_DISTRIBUTION
+from repro.parallel import ParallelIngestor
+
+#: Ingestion-heavy vs vectorised representative, per the paper's Fig 5a.
+DEFAULT_PARALLEL_SKETCHES = ("kll", "ddsketch")
+
+
+@dataclass
+class ParallelScalingResult:
+    """Ingestion throughput by sketch and shard count."""
+
+    backend: str
+    partitioner: str
+    points: int
+    batch_size: int
+    #: CPUs the schedulable set actually offers — the hard ceiling on
+    #: any real speedup (a 1-CPU runner time-slices the shards).
+    cpus: int = 1
+    #: sketch -> shard count -> elements ingested per second.
+    throughput: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def speedup(self, sketch: str, n_shards: int) -> float:
+        """Throughput of *n_shards* relative to one shard."""
+        curve = self.throughput[sketch]
+        return curve[n_shards] / curve[1]
+
+    def best_speedup(self, sketch: str) -> tuple[int, float]:
+        curve = self.throughput[sketch]
+        best = max(curve, key=lambda n: curve[n])
+        return best, self.speedup(sketch, best)
+
+    def to_table(self) -> str:
+        shard_counts = sorted(
+            next(iter(self.throughput.values()), {})
+        )
+        headers = ["sketch"] + [
+            f"{n} shard{'s' if n > 1 else ''}" for n in shard_counts
+        ] + ["best speedup"]
+        rows = []
+        for sketch, curve in self.throughput.items():
+            best_n, best_x = self.best_speedup(sketch)
+            rows.append(
+                [sketch]
+                + [f"{curve[n] / 1e6:.2f} Mel/s" for n in shard_counts]
+                + [f"{best_x:.2f}x @ {best_n}"]
+            )
+        return format_table(
+            headers,
+            rows,
+            title=(
+                f"parallel ingestion throughput "
+                f"({self.backend} backend, {self.partitioner} "
+                f"partitioning, {self.points:,} events, "
+                f"{self.cpus} cpu{'s' if self.cpus > 1 else ''})"
+            ),
+        )
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually be scheduled on."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_parallel_scaling(
+    sketches: tuple[str, ...] = DEFAULT_PARALLEL_SKETCHES,
+    backend: str = "process",
+    partitioner: str = "round_robin",
+    shard_counts: tuple[int, ...] | None = None,
+    scale: ExperimentScale | None = None,
+    batch_size: int = 50_000,
+    repetitions: int = 3,
+) -> ParallelScalingResult:
+    """Measure ingestion throughput against shard count.
+
+    Values are pre-sampled from the paper's speed distribution
+    (Pareto(1, 1)) and chunked into fixed-size batches so partitioning
+    cost is included; each (sketch, shard count) cell keeps the best of
+    *repetitions* timed runs (standard practice for throughput, since
+    interference only ever slows a run down).
+    """
+    scale = scale or current_scale()
+    shard_counts = tuple(shard_counts or scale.shard_counts)
+    rng = np.random.default_rng(BASE_SEED)
+    values = SPEED_DISTRIBUTION.sample(scale.speed_points, rng)
+    batches = [
+        values[start : start + batch_size]
+        for start in range(0, values.size, batch_size)
+    ]
+    result = ParallelScalingResult(
+        backend=backend,
+        partitioner=partitioner,
+        points=int(values.size),
+        batch_size=batch_size,
+        cpus=available_cpus(),
+    )
+    for name in sketches:
+        factory = functools.partial(
+            paper_config, name, dataset="pareto", seed=BASE_SEED
+        )
+        curve: dict[int, float] = {}
+        for n_shards in shard_counts:
+            ingestor = ParallelIngestor(
+                factory,
+                n_shards=n_shards,
+                backend=backend if n_shards > 1 else "serial",
+                partitioner=partitioner,
+            )
+            best = 0.0
+            for _ in range(repetitions):
+                start = time.perf_counter()
+                sketch = ingestor.ingest(batches)
+                elapsed = time.perf_counter() - start
+                assert sketch.count == values.size
+                best = max(best, values.size / elapsed)
+            curve[n_shards] = best
+        result.throughput[name] = curve
+    return result

@@ -1,0 +1,36 @@
+"""Sharded parallel ingestion over mergeable quantile sketches.
+
+The paper's speed experiments (Sec 5.3) are single-threaded, but every
+sketch it studies is mergeable by design; this package exploits that:
+
+* :class:`ShardedSketch` — a :class:`~repro.core.base.QuantileSketch`
+  that fans insertions out over per-shard inner sketches and answers
+  queries from a cached merged view;
+* :class:`ParallelIngestor` — serial / thread / process ingestion
+  drivers, the process backend shipping shards through the
+  :mod:`repro.core.serialization` codecs;
+* :mod:`repro.parallel.partition` — deterministic round-robin and
+  value-hash partitioners.
+
+See DESIGN.md ("Parallel ingestion subsystem") for the shard/merge
+model and backend trade-offs.
+"""
+
+from repro.parallel.ingestor import BACKENDS, ParallelIngestor
+from repro.parallel.partition import (
+    PARTITIONERS,
+    hash_shard,
+    hash_shard_ids,
+    partition_batch,
+)
+from repro.parallel.sharded import ShardedSketch
+
+__all__ = [
+    "ShardedSketch",
+    "ParallelIngestor",
+    "BACKENDS",
+    "PARTITIONERS",
+    "partition_batch",
+    "hash_shard",
+    "hash_shard_ids",
+]

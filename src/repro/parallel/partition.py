@@ -1,0 +1,99 @@
+"""Stream partitioning for sharded ingestion.
+
+Two partitioners are provided, both preserving the multiset of values
+(what quantile sketches summarise) while splitting work:
+
+* **round_robin** — element ``i`` of the stream goes to shard
+  ``(i + offset) % n_shards``.  Perfectly balanced, and with numpy
+  strided slicing the split is O(1) per shard; but the assignment
+  depends on arrival order, so re-chunking a stream changes shard
+  contents (the cross-batch ``offset`` keeps a *fixed* chunking
+  deterministic).
+* **hash** — the shard is a function of the value's float64 bit
+  pattern (a splitmix64 finaliser).  Assignment is independent of
+  arrival order and chunking, which is what makes bit-identical
+  replays across backends possible; balance is statistical.
+
+Both are deterministic: no process-salted ``hash()``, no RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidValueError
+
+PARTITIONERS = ("round_robin", "hash")
+
+_MASK64 = (1 << 64) - 1
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_SPLITMIX_M1 = 0xBF58476D1CE4E5B9
+_SPLITMIX_M2 = 0x94D049BB133111EB
+
+
+def validate_partitioner(partitioner: str) -> str:
+    if partitioner not in PARTITIONERS:
+        raise InvalidValueError(
+            f"unknown partitioner {partitioner!r}; expected one of "
+            f"{PARTITIONERS}"
+        )
+    return partitioner
+
+
+def validate_n_shards(n_shards: int) -> int:
+    n_shards = int(n_shards)
+    if n_shards < 1:
+        raise InvalidValueError(
+            f"n_shards must be >= 1, got {n_shards!r}"
+        )
+    return n_shards
+
+
+def hash_shard(value: float, n_shards: int) -> int:
+    """Deterministic shard id of a single value (splitmix64 mix)."""
+    # +0.0 canonicalises -0.0 so both zeros land on the same shard.
+    bits = np.float64(float(value) + 0.0).view(np.uint64).item()
+    x = (bits + _SPLITMIX_GAMMA) & _MASK64
+    x = ((x ^ (x >> 30)) * _SPLITMIX_M1) & _MASK64
+    x = ((x ^ (x >> 27)) * _SPLITMIX_M2) & _MASK64
+    x ^= x >> 31
+    return int(x % n_shards)
+
+
+def hash_shard_ids(values: np.ndarray, n_shards: int) -> np.ndarray:
+    """Vectorised :func:`hash_shard` over a float64 array."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    bits = (values + 0.0).view(np.uint64)
+    x = bits + np.uint64(_SPLITMIX_GAMMA)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(_SPLITMIX_M1)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(_SPLITMIX_M2)
+    x ^= x >> np.uint64(31)
+    return (x % np.uint64(n_shards)).astype(np.int64)
+
+
+def partition_batch(
+    values: np.ndarray,
+    n_shards: int,
+    partitioner: str = "round_robin",
+    offset: int = 0,
+) -> list[np.ndarray]:
+    """Split *values* into ``n_shards`` sub-streams.
+
+    Returns one array per shard; the concatenation of the returned
+    arrays is a permutation of *values*, and within each shard the
+    original arrival order is preserved.  *offset* is the number of
+    elements already routed (round-robin continues where the previous
+    batch left off; ignored by the hash partitioner).
+    """
+    validate_partitioner(partitioner)
+    validate_n_shards(n_shards)
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if n_shards == 1:
+        return [values]
+    if partitioner == "round_robin":
+        return [
+            values[(shard - offset) % n_shards :: n_shards]
+            for shard in range(n_shards)
+        ]
+    ids = hash_shard_ids(values, n_shards)
+    return [values[ids == shard] for shard in range(n_shards)]

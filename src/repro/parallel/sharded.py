@@ -1,0 +1,259 @@
+"""A sketch-of-sketches that ingests through N independent shards.
+
+:class:`ShardedSketch` is the in-process half of the parallel
+subsystem: it conforms to the :class:`~repro.core.base.QuantileSketch`
+interface, but routes every insertion to one of ``n_shards`` inner
+sketches and answers queries from a lazily merged view.  Because all
+sketches in :mod:`repro.core` are mergeable (Sec 2.4 of the paper),
+shard-then-merge answers carry the same error guarantee as sequential
+ingestion — the differential harness in ``tests/parallel`` asserts
+exactly that.
+
+Concurrency model
+-----------------
+Each shard carries its own lock, so up to ``n_shards`` writers make
+progress concurrently, and a query never observes a half-applied
+update.  The merged view is cached under a version counter: every
+write bumps the version, and a query rebuilds the view only when the
+cached version is stale (the cache-invalidation rule documented in
+DESIGN.md).  Building the view merges shard snapshots one lock at a
+time, so queries interleave with concurrent ingestion instead of
+stalling it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.base import QuantileSketch
+from repro.errors import IncompatibleSketchError
+from repro.parallel.partition import (
+    hash_shard,
+    partition_batch,
+    validate_n_shards,
+    validate_partitioner,
+)
+
+
+class ShardedSketch(QuantileSketch):
+    """Fan insertions out over per-shard sketches; merge on query.
+
+    Parameters
+    ----------
+    sketch_factory:
+        Zero-argument callable building one empty inner sketch; called
+        ``n_shards`` times at construction and once more per merged-view
+        rebuild.  For the process-pool ingestion backend the factory
+        must be picklable (e.g. ``functools.partial(paper_config,
+        "kll", seed=7)``).
+    n_shards:
+        Number of inner sketches (parallelism ceiling for writers).
+    partitioner:
+        ``"round_robin"`` (balanced, order-dependent) or ``"hash"``
+        (value-determined, chunking-independent); see
+        :mod:`repro.parallel.partition`.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        sketch_factory: Callable[[], QuantileSketch],
+        n_shards: int = 4,
+        partitioner: str = "round_robin",
+    ) -> None:
+        super().__init__()
+        self.n_shards = validate_n_shards(n_shards)
+        self.partitioner = validate_partitioner(partitioner)
+        self._factory = sketch_factory
+        self._shards: list[QuantileSketch] = [
+            sketch_factory() for _ in range(self.n_shards)
+        ]
+        self._shard_locks = [
+            threading.Lock() for _ in range(self.n_shards)
+        ]
+        self._meta_lock = threading.Lock()  # guards bookkeeping + version
+        self._cache_lock = threading.Lock()
+        self._version = 0
+        self._cached_version = -1
+        self._cached_view: QuantileSketch | None = None
+        self._routed = 0  # round-robin cursor across batches
+
+    @classmethod
+    def from_shards(
+        cls,
+        sketch_factory: Callable[[], QuantileSketch],
+        shards: Sequence[QuantileSketch],
+        partitioner: str = "round_robin",
+    ) -> "ShardedSketch":
+        """Adopt pre-built shard sketches (the ingestor's exit path)."""
+        sharded = cls(
+            sketch_factory,
+            n_shards=len(shards),
+            partitioner=partitioner,
+        )
+        sharded._shards = list(shards)
+        for shard in sharded._shards:
+            sharded._count += shard._count
+            if shard._min < sharded._min:
+                sharded._min = shard._min
+            if shard._max > sharded._max:
+                sharded._max = shard._max
+        sharded._routed = sharded._count
+        return sharded
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if self.partitioner == "hash":
+            shard = hash_shard(value, self.n_shards)
+        else:
+            with self._meta_lock:
+                shard = self._routed % self.n_shards
+                self._routed += 1
+        with self._shard_locks[shard]:
+            self._shards[shard].update(value)
+        with self._meta_lock:
+            self._observe(value)
+            self._version += 1
+
+    def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        with self._meta_lock:
+            offset = self._routed
+            self._routed += int(values.size)
+        parts = partition_batch(
+            values, self.n_shards, self.partitioner, offset=offset
+        )
+        for shard, part in enumerate(parts):
+            if part.size:
+                self.update_shard(shard, part, _observe=False)
+        with self._meta_lock:
+            self._observe_batch(values)
+            self._version += 1
+
+    def update_shard(
+        self,
+        shard: int,
+        values: np.ndarray,
+        _observe: bool = True,
+    ) -> None:
+        """Feed a pre-partitioned chunk straight into shard *shard*.
+
+        This is the entry point concurrent ingestion drivers use: each
+        worker owns a shard id, so writers contend only on the shard
+        lock they hold anyway.
+        """
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        with self._shard_locks[shard]:
+            self._shards[shard].update_batch(values)
+        if _observe:
+            with self._meta_lock:
+                self._observe_batch(values)
+                self._version += 1
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: QuantileSketch) -> None:
+        """Merge *other* (sharded or plain) into this sketch.
+
+        A :class:`ShardedSketch` with the same shard count merges
+        shard-by-shard (preserving per-shard parallel query cost); any
+        other mergeable sketch — including a differently-sharded one,
+        via its merged view — folds into shard 0.
+        """
+        if isinstance(other, ShardedSketch):
+            if other.n_shards == self.n_shards:
+                for shard in range(self.n_shards):
+                    with self._shard_locks[shard]:
+                        self._shards[shard].merge(other._shards[shard])
+            else:
+                view = other._merged_view()  # before taking our lock
+                with self._shard_locks[0]:
+                    self._shards[0].merge(view)
+        else:
+            with self._shard_locks[0]:
+                self._shards[0].merge(other)
+        with self._meta_lock:
+            self._merge_bookkeeping(other)
+            self._routed = self._count
+            self._version += 1
+
+    # ------------------------------------------------------------------
+    # Queries (answered from the cached merged view)
+    # ------------------------------------------------------------------
+
+    def _merged_view(self) -> QuantileSketch:
+        with self._cache_lock:
+            with self._meta_lock:
+                version = self._version
+            if self._cached_view is not None and (
+                self._cached_version == version
+            ):
+                return self._cached_view
+            view = self._factory()
+            for shard, lock in zip(self._shards, self._shard_locks):
+                with lock:
+                    if not shard.is_empty:
+                        view.merge(shard)
+            self._cached_view = view
+            self._cached_version = version
+            return view
+
+    def quantile(self, q: float) -> float:
+        self._require_nonempty()
+        return self._merged_view().quantile(q)
+
+    def quantiles(self, qs) -> list[float]:
+        self._require_nonempty()
+        return self._merged_view().quantiles(qs)
+
+    def rank(self, value: float) -> int:
+        self._require_nonempty()
+        return self._merged_view().rank(value)
+
+    def cdf(self, value: float) -> float:
+        self._require_nonempty()
+        return self._merged_view().cdf(value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> tuple[QuantileSketch, ...]:
+        """The inner per-shard sketches (do not mutate directly)."""
+        return tuple(self._shards)
+
+    def shard_counts(self) -> list[int]:
+        """Per-shard item counts (balance diagnostics)."""
+        return [shard.count for shard in self._shards]
+
+    def size_bytes(self) -> int:
+        """Footprint of the shard array (the cached view is transient
+        query state, reported separately by ``view_size_bytes``)."""
+        return sum(shard.size_bytes() for shard in self._shards)
+
+    def view_size_bytes(self) -> int:
+        with self._cache_lock:
+            if self._cached_view is None:
+                return 0
+            return self._cached_view.size_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardedSketch n_shards={self.n_shards} "
+            f"partitioner={self.partitioner!r} count={self._count}>"
+        )

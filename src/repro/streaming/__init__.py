@@ -25,9 +25,11 @@ from repro.streaming.engine import (
     WindowResult,
     run_sliding_batch,
     run_tumbling_batch,
+    tumbling_assignment,
     window_values,
 )
 from repro.streaming.events import Event, events_from_batch
+from repro.streaming.parallel import run_tumbling_parallel
 from repro.streaming.operators import (
     AggregateFunction,
     CollectingAggregator,
@@ -61,7 +63,9 @@ __all__ = [
     "WindowResult",
     "ExecutionReport",
     "run_tumbling_batch",
+    "run_tumbling_parallel",
     "run_sliding_batch",
+    "tumbling_assignment",
     "window_values",
     "AggregateFunction",
     "SketchAggregator",

@@ -363,6 +363,36 @@ class CountWindowedStream:
         return report
 
 
+def tumbling_assignment(
+    batch: EventBatch,
+    window_size_ms: float,
+    out_of_orderness_ms: float = 0.0,
+    allowed_lateness_ms: float = 0.0,
+) -> tuple[EventBatch, np.ndarray, np.ndarray]:
+    """Window assignment + late-drop decision for a tumbling execution.
+
+    Returns ``(ordered, window_ids, late)``: the batch replayed in
+    arrival order, each event's tumbling window id, and the boolean
+    late mask (watermark had passed the window's end plus lateness
+    before the event arrived).  Every tumbling executor — sequential,
+    sharded-parallel, ground-truth — derives its drop policy from this
+    one function, which is what makes their drop counts identical by
+    construction.
+    """
+    ordered = batch.in_arrival_order()
+    event_times = ordered.event_times
+    if event_times.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return ordered, empty, np.zeros(0, dtype=bool)
+    running_max = np.maximum.accumulate(event_times)
+    watermark_before = np.concatenate(([-np.inf], running_max[:-1]))
+    watermark_before = watermark_before - out_of_orderness_ms
+    window_ids = np.floor(event_times / window_size_ms).astype(np.int64)
+    window_ends = (window_ids + 1) * window_size_ms
+    late = watermark_before >= window_ends + allowed_lateness_ms
+    return ordered, window_ids, late
+
+
 def run_tumbling_batch(
     batch: EventBatch,
     window_size_ms: float,
@@ -392,19 +422,13 @@ def run_tumbling_batch(
     results are identical for order-insensitive aggregators and
     statistically equivalent for the randomized sketches.
     """
-    ordered = batch.in_arrival_order()
-    event_times = ordered.event_times
-    n = event_times.size
+    ordered, window_ids, late = tumbling_assignment(
+        batch, window_size_ms, out_of_orderness_ms, allowed_lateness_ms
+    )
+    n = ordered.event_times.size
     report = ExecutionReport(total_events=int(n))
     if n == 0:
         return report
-
-    running_max = np.maximum.accumulate(event_times)
-    watermark_before = np.concatenate(([-np.inf], running_max[:-1]))
-    watermark_before = watermark_before - out_of_orderness_ms
-    window_ids = np.floor(event_times / window_size_ms).astype(np.int64)
-    window_ends = (window_ids + 1) * window_size_ms
-    late = watermark_before >= window_ends + allowed_lateness_ms
     report.dropped_late = int(late.sum())
     if late.all():
         return report
@@ -552,16 +576,11 @@ def window_values(
     Companion to :func:`run_tumbling_batch` used to compute ground-truth
     quantiles per window under the *same* late-drop policy.
     """
-    ordered = batch.in_arrival_order()
-    event_times = ordered.event_times
-    if event_times.size == 0:
+    ordered, window_ids, late = tumbling_assignment(
+        batch, window_size_ms, out_of_orderness_ms, allowed_lateness_ms
+    )
+    if ordered.event_times.size == 0:
         return {}
-    running_max = np.maximum.accumulate(event_times)
-    watermark_before = np.concatenate(([-np.inf], running_max[:-1]))
-    watermark_before = watermark_before - out_of_orderness_ms
-    window_ids = np.floor(event_times / window_size_ms).astype(np.int64)
-    window_ends = (window_ids + 1) * window_size_ms
-    late = watermark_before >= window_ends + allowed_lateness_ms
     kept_values = ordered.values[~late]
     kept_ids = window_ids[~late]
     out: dict[WindowSpan, np.ndarray] = {}

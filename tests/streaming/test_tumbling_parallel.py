@@ -1,0 +1,111 @@
+"""Differential tests: run_tumbling_parallel vs. run_tumbling_batch.
+
+Both executors take their late/kept decision from the shared
+``tumbling_assignment`` helper, so every (window set, drop count,
+per-window event count) must match exactly; for order-insensitive
+aggregators (counting, DDSketch) the window *results* must match bit
+for bit too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DDSketch
+from repro.data.streams import EventBatch
+from repro.errors import PipelineError
+from repro.streaming import (
+    CountAggregator,
+    SketchAggregator,
+    run_tumbling_batch,
+    run_tumbling_parallel,
+)
+
+WINDOW_MS = 1_000.0
+
+
+def shuffled_batch(rng, size=8_000, delay_ms=400.0):
+    """Out-of-order arrivals with real late data."""
+    values = 1.0 + rng.pareto(1.0, size).clip(max=1e5)
+    event_times = rng.uniform(0.0, 20_000.0, size)
+    arrival_times = event_times + rng.exponential(delay_ms, size)
+    order = np.argsort(arrival_times)
+    return EventBatch(
+        values[order], event_times[order], arrival_times[order]
+    )
+
+
+@pytest.mark.parametrize("n_shards", (1, 2, 7, 16))
+@pytest.mark.parametrize("partitioner", ("round_robin", "hash"))
+def test_drop_counts_and_windows_match_sequential(
+    rng, n_shards, partitioner
+):
+    batch = shuffled_batch(rng)
+    sequential = run_tumbling_batch(
+        batch, WINDOW_MS, CountAggregator(),
+        out_of_orderness_ms=100.0, allowed_lateness_ms=50.0,
+    )
+    parallel = run_tumbling_parallel(
+        batch, WINDOW_MS, CountAggregator(),
+        out_of_orderness_ms=100.0, allowed_lateness_ms=50.0,
+        n_shards=n_shards, partitioner=partitioner,
+    )
+    assert sequential.dropped_late > 0  # the stream genuinely drops
+    assert parallel.dropped_late == sequential.dropped_late
+    assert parallel.total_events == sequential.total_events
+    assert [r.window for r in parallel.results] == (
+        [r.window for r in sequential.results]
+    )
+    assert [r.event_count for r in parallel.results] == (
+        [r.event_count for r in sequential.results]
+    )
+    assert [r.result for r in parallel.results] == (
+        [r.result for r in sequential.results]
+    )
+
+
+def test_ddsketch_windows_bit_identical(rng):
+    batch = shuffled_batch(rng, size=5_000)
+    agg = SketchAggregator(DDSketch, quantiles=(0.5, 0.95, 0.99))
+    sequential = run_tumbling_batch(
+        batch, WINDOW_MS, agg, out_of_orderness_ms=100.0
+    )
+    parallel = run_tumbling_parallel(
+        batch, WINDOW_MS, agg, out_of_orderness_ms=100.0, n_shards=7
+    )
+    assert parallel.dropped_late == sequential.dropped_late
+    for a, b in zip(parallel.results, sequential.results):
+        assert a.window == b.window
+        assert a.result == b.result
+
+
+def test_all_late_stream_drops_everything(rng):
+    # Arrival order forces the watermark past every window before any
+    # of its events arrive.
+    values = np.array([1.0, 2.0, 3.0])
+    event_times = np.array([0.0, 10.0, 50_000.0])
+    arrival_times = np.array([60_000.0, 60_001.0, 59_999.0])
+    order = np.argsort(arrival_times)
+    batch = EventBatch(
+        values[order], event_times[order], arrival_times[order]
+    )
+    report = run_tumbling_parallel(batch, WINDOW_MS, CountAggregator())
+    expected = run_tumbling_batch(batch, WINDOW_MS, CountAggregator())
+    assert report.dropped_late == expected.dropped_late
+    assert len(report.results) == len(expected.results)
+
+
+def test_empty_batch():
+    batch = EventBatch(
+        np.array([]), np.array([]), np.array([])
+    )
+    report = run_tumbling_parallel(batch, WINDOW_MS, CountAggregator())
+    assert report.total_events == 0
+    assert report.results == []
+
+
+def test_rejects_bad_shard_count(rng):
+    batch = shuffled_batch(rng, size=10)
+    with pytest.raises(PipelineError):
+        run_tumbling_parallel(
+            batch, WINDOW_MS, CountAggregator(), n_shards=0
+        )
