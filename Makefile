@@ -1,7 +1,16 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test-all bench-parallel
+.PHONY: help test-fast test-all lint analysis typecheck bench-parallel
+
+help:
+	@echo "Targets:"
+	@echo "  test-fast      tier-1 gate: pytest minus tests marked 'slow'"
+	@echo "  test-all       full suite, soak tests included"
+	@echo "  lint           static analysis: repro.analysis AST rules + strict mypy"
+	@echo "  analysis       just the AST rules (python -m repro.analysis --check)"
+	@echo "  typecheck      just mypy --strict over repro.core and repro.parallel"
+	@echo "  bench-parallel parallel-scaling micro-benchmark"
 
 # Tier-1 gate: everything except tests marked `slow` (pyproject's
 # addopts already applies -m 'not slow').
@@ -12,6 +21,22 @@ test-fast:
 # the addopts filter).
 test-all:
 	$(PYTEST) -q -m "slow or not slow"
+
+# The CI lint gate: custom AST rules, then the strict typing gate.
+lint: analysis typecheck
+
+analysis:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --check src/repro
+
+# mypy is an optional dev dependency; environments without it (the
+# hermetic test container) skip the typing half of the gate loudly
+# instead of failing. Configuration lives in pyproject.toml.
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --strict src/repro/core src/repro/parallel; \
+	else \
+		echo "mypy not installed - skipping strict typing gate"; \
+	fi
 
 bench-parallel:
 	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_parallel_scaling.py

@@ -1,0 +1,152 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Typical invocations::
+
+    python -m repro.analysis src/repro            # report findings
+    python -m repro.analysis --check src/repro    # CI gate: exit 1
+    python -m repro.analysis --json src/repro     # machine output
+    python -m repro.analysis --list-rules         # rule catalogue
+
+Exit codes: 0 — clean (or report-only mode); 1 — ``--check`` with at
+least one active (unsuppressed) finding; 2 — usage or parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.rules import ALL_RULES, select_rules
+from repro.analysis.walker import (
+    Finding,
+    Project,
+    active_findings,
+    run_rules,
+)
+from repro.errors import AnalysisError
+
+
+def collect_paths(targets: Sequence[str]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    paths: set[Path] = set()
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            paths.update(path.rglob("*.py"))
+        elif path.suffix == ".py" and path.exists():
+            paths.add(path)
+        else:
+            raise AnalysisError(
+                f"target {target!r} is neither a directory nor a "
+                ".py file"
+            )
+    return sorted(paths)
+
+
+def _codes_csv(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST lint enforcing the repo's sketch and concurrency "
+            "contracts (RNG discipline, float equality, sketch "
+            "interface, lock discipline, exception hygiene)."
+        ),
+    )
+    parser.add_argument(
+        "targets", nargs="*", default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any active finding remains (the CI gate)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as a JSON document on stdout",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print findings silenced by `# repro: noqa[...]`",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in ALL_RULES:
+        scope = (
+            ", ".join(rule.scopes) if rule.scopes else "all modules"
+        )
+        print(f"{rule.code}  {rule.name}  [{scope}]")
+        print(f"    {rule.description}")
+
+
+def _render_json(
+    shown: list[Finding], active: list[Finding], suppressed: int
+) -> str:
+    return json.dumps(
+        {
+            "findings": [finding.to_dict() for finding in shown],
+            "summary": {
+                "active": len(active),
+                "suppressed": suppressed,
+            },
+        },
+        indent=2,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    try:
+        rules = select_rules(
+            _codes_csv(args.select), _codes_csv(args.ignore)
+        )
+        paths = collect_paths(args.targets)
+        project = Project.from_paths(paths)
+        findings = run_rules(project, rules)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    active = active_findings(findings)
+    suppressed = len(findings) - len(active)
+    shown = findings if args.show_suppressed else active
+    if args.as_json:
+        print(_render_json(shown, active, suppressed))
+    else:
+        for finding in shown:
+            print(finding.render())
+        tail = f"{len(active)} finding(s)"
+        if suppressed:
+            tail += f", {suppressed} suppressed"
+        print(
+            f"repro.analysis: {len(paths)} file(s), "
+            f"{len(rules)} rule(s), {tail}"
+        )
+    if args.check and active:
+        return 1
+    return 0

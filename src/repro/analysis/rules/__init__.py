@@ -1,0 +1,70 @@
+"""Rule registry for the repro static-analysis framework.
+
+Adding a rule is three steps (see README "Static analysis"): write a
+:class:`~repro.analysis.walker.Rule` subclass in a module here, import
+it below, and append an instance to :data:`ALL_RULES`.  The corpus
+tests enforce that every registered rule has a known-bad snippet that
+triggers it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.rules.contract import (
+    RegistryMembershipRule,
+    SketchInterfaceRule,
+    UpdateObservesRule,
+)
+from repro.analysis.rules.exceptions import (
+    BareExceptRule,
+    SilentSwallowRule,
+)
+from repro.analysis.rules.float_equality import FloatEqualityRule
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.rng_discipline import (
+    LegacyGlobalNumpyRandomRule,
+    StdlibRandomRule,
+    UnseededDefaultRngRule,
+)
+from repro.analysis.walker import Rule
+from repro.errors import AnalysisError
+
+ALL_RULES: tuple[Rule, ...] = (
+    UnseededDefaultRngRule(),
+    LegacyGlobalNumpyRandomRule(),
+    StdlibRandomRule(),
+    FloatEqualityRule(),
+    SketchInterfaceRule(),
+    UpdateObservesRule(),
+    RegistryMembershipRule(),
+    LockDisciplineRule(),
+    BareExceptRule(),
+    SilentSwallowRule(),
+)
+
+RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}
+
+if len(RULES_BY_CODE) != len(ALL_RULES):  # pragma: no cover
+    raise AnalysisError("duplicate rule codes in ALL_RULES")
+
+
+def select_rules(
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> tuple[Rule, ...]:
+    """Resolve ``--select`` / ``--ignore`` code lists to rule objects."""
+    codes = list(RULES_BY_CODE) if not select else list(select)
+    unknown = [
+        code for code in [*codes, *(ignore or [])]
+        if code not in RULES_BY_CODE
+    ]
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule code(s) {unknown}; known: "
+            f"{sorted(RULES_BY_CODE)}"
+        )
+    ignored = set(ignore or [])
+    return tuple(
+        RULES_BY_CODE[code] for code in codes if code not in ignored
+    )

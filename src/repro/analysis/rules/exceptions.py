@@ -1,0 +1,76 @@
+"""Bare-except and silent-swallow detection.
+
+The harness's headline numbers are only trustworthy if failures are
+loud: a swallowed ``SolverError`` in an accuracy run turns into a
+silently-wrong table row.  Two rules, applied to every analysed module:
+
+* ``EXC001`` — ``except:`` with no exception type (also catches
+  ``KeyboardInterrupt``/``SystemExit``, so a hung soak run cannot even
+  be interrupted cleanly).
+* ``EXC002`` — an except handler whose body is only ``pass``/``...``:
+  the error is swallowed with no fallback, no re-raise, no record.
+  Intentional best-effort paths use ``contextlib.suppress`` (explicit,
+  greppable) or carry a ``# repro: noqa[EXC002]`` justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.walker import Finding, ModuleInfo, Project, Rule
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, ast.Pass):
+        return True
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+    )
+
+
+class BareExceptRule(Rule):
+    code = "EXC001"
+    name = "bare-except"
+    description = (
+        "`except:` without an exception type catches everything, "
+        "including KeyboardInterrupt/SystemExit"
+    )
+    scopes = None
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare `except:` — name the exceptions this path "
+                    "is prepared to handle",
+                )
+
+
+class SilentSwallowRule(Rule):
+    code = "EXC002"
+    name = "silent-swallow"
+    description = (
+        "an except handler whose body is only pass/... swallows the "
+        "error with no fallback or record"
+    )
+    scopes = None
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.body and all(_is_noop(stmt) for stmt in node.body):
+                yield self.finding(
+                    module, node,
+                    "except handler silently swallows the error — "
+                    "handle it, re-raise, or use contextlib.suppress "
+                    "with a justification",
+                )

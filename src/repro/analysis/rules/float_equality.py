@@ -1,0 +1,75 @@
+"""Float equality: ``==`` / ``!=`` on float expressions in sketch code.
+
+Quantile sketches live entirely in float64 — bucket boundaries, centroid
+means, compactor items — where exact equality silently depends on
+rounding history (DDSketch's ``gamma**k`` bucket keys are the canonical
+trap).  ``FLT001`` flags equality comparisons whose operands are
+manifestly floats: a float literal (``x == 0.5``), a ``float(...)`` /
+``np.float64(...)`` cast, or ``math.inf`` / ``np.inf`` / ``np.nan``
+constants.  Comparisons that are *about* exact IEEE semantics (e.g. a
+representability check) carry a ``# repro: noqa[FLT001]`` with the
+justification.
+
+The rule is deliberately syntactic: without type inference it cannot
+see every float comparison, but the ones it can see are exactly the
+ones a reviewer would flag, and the corpus tests pin its behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.walker import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    dotted_name,
+    is_float_cast,
+    is_float_literal,
+)
+
+_FLOAT_CONSTANT_NAMES = frozenset({
+    "math.inf", "math.nan", "math.pi", "math.e", "math.tau",
+    "np.inf", "np.nan", "np.pi", "np.e",
+    "numpy.inf", "numpy.nan", "numpy.pi", "numpy.e",
+})
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    if is_float_literal(node) or is_float_cast(node):
+        return True
+    name = dotted_name(node)
+    return name is not None and name in _FLOAT_CONSTANT_NAMES
+
+
+class FloatEqualityRule(Rule):
+    code = "FLT001"
+    name = "float-equality"
+    description = (
+        "== / != against a float expression in sketch code; compare "
+        "with an ordering, a tolerance, or suppress with justification"
+    )
+    scopes = ("repro.core", "repro.parallel")
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands[:-1], operands[1:]
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(left) or _is_floatish(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        module, node,
+                        f"float {symbol} comparison — exact equality on "
+                        "floats is rounding-history dependent",
+                    )
+                    break

@@ -1,0 +1,112 @@
+"""Lock discipline for the shard-parallel subsystem.
+
+PR 1's concurrency model (DESIGN.md) is lock-per-shard plus a meta lock
+for bookkeeping and a cache lock for the merged view; its correctness
+argument is that *every* write to shared instance state happens under
+one of those locks.  ``LCK001`` machine-checks the lexical half of that
+argument: inside ``repro.parallel``, an assignment or augmented
+assignment to ``self.<attr>`` outside ``__init__`` must sit inside a
+``with`` statement whose context expression mentions a lock (any
+dotted name containing ``lock``, e.g. ``self._meta_lock``,
+``self._shard_locks[shard]``).
+
+``__init__`` is exempt (no concurrent aliases exist during
+construction), as are writes to local variables and to attributes of
+other objects — adopting constructors like ``from_shards`` build a
+fresh instance through a local name precisely so this rule stays
+sharp.  A deliberately unguarded write (e.g. a monotonic flag with
+benign races) documents itself with ``# repro: noqa[LCK001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.walker import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    iter_with_context_names,
+)
+
+_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__setstate__"})
+
+
+def _self_attr_target(node: ast.expr) -> str | None:
+    """Attribute name when *node* is a plain ``self.<attr>`` target."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _write_targets(node: ast.AST) -> list[tuple[ast.expr, str]]:
+    """(target node, attr) pairs for self-attribute writes in *node*."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    else:
+        return []
+    found = []
+    for target in targets:
+        # Unpack tuple/list targets: `self.a, self.b = ...`
+        stack = [target]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.Tuple, ast.List)):
+                stack.extend(current.elts)
+                continue
+            attr = _self_attr_target(current)
+            if attr is not None:
+                found.append((current, attr))
+    return found
+
+
+def _under_lock(module: ModuleInfo, node: ast.AST) -> bool:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for name in iter_with_context_names(ancestor):
+                if "lock" in name.lower():
+                    return True
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break  # don't escape the enclosing method
+    return False
+
+
+class LockDisciplineRule(Rule):
+    code = "LCK001"
+    name = "lock-discipline"
+    description = (
+        "in repro.parallel, self-attribute writes outside __init__ "
+        "must happen inside a `with <lock>` block"
+    )
+    scopes = ("repro.parallel",)
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            writes = _write_targets(node)
+            if not writes:
+                continue
+            fn = module.enclosing_function(node)
+            if fn is None or fn.name in _EXEMPT_METHODS:
+                continue
+            if module.enclosing_class(node) is None:
+                continue  # module-level helpers hold no shared state
+            if _under_lock(module, node):
+                continue
+            for target, attr in writes:
+                yield self.finding(
+                    module, node,
+                    f"unguarded write to shared state self.{attr} in "
+                    f"{fn.name}() — wrap it in the owning lock's "
+                    "`with` block",
+                )

@@ -1,0 +1,162 @@
+"""RNG discipline: randomness in sketch code must be seeded.
+
+The paper's evaluation (and PR 1's cross-backend determinism harness)
+only reproduces when every random choice — KLL's compaction coin, REQ's
+section coin, Random sketch's buffer sampling — flows from a seed the
+caller threads in.  Three patterns break that and are flagged inside
+``repro.core`` / ``repro.parallel``:
+
+* ``RNG001`` — ``np.random.default_rng()`` with no argument, or an
+  explicit ``None`` argument: an entropy-seeded generator whose output
+  can never be replayed.
+* ``RNG002`` — the legacy global numpy API (``np.random.uniform`` etc.),
+  which draws from hidden process-wide state.
+* ``RNG003`` — the stdlib ``random`` module, whose global Mersenne
+  Twister is shared across the process (and across threads: Quancurrent
+  -style shard workers would interleave draws nondeterministically).
+
+A generator built from a threaded seed variable —
+``np.random.default_rng(seed)`` — passes, even when the variable may be
+``None`` at runtime: defaulting is the caller's decision; the rule
+polices the mechanism, the registry's paper defaults police the values.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.walker import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    dotted_name,
+)
+
+#: np.random attributes that are constructors for *seedable* objects,
+#: not draws from the legacy global state.
+_SEEDABLE_CONSTRUCTORS = frozenset({
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+    "BitGenerator",
+    "RandomState",  # explicit-state legacy object; still seedable
+})
+
+_NUMPY_RANDOM_PREFIXES = ("np.random", "numpy.random")
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+class UnseededDefaultRngRule(Rule):
+    code = "RNG001"
+    name = "unseeded-default-rng"
+    description = (
+        "np.random.default_rng() in sketch code must receive a seed "
+        "expression (entropy seeding is unreproducible)"
+    )
+    scopes = ("repro.core", "repro.parallel")
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name not in (
+                "np.random.default_rng",
+                "numpy.random.default_rng",
+            ):
+                continue
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    module, node,
+                    "np.random.default_rng() without a seed — thread a "
+                    "`seed` parameter through instead",
+                )
+            elif node.args and _is_none(node.args[0]):
+                yield self.finding(
+                    module, node,
+                    "np.random.default_rng(None) is entropy-seeded — "
+                    "pass the threaded seed expression",
+                )
+
+
+class LegacyGlobalNumpyRandomRule(Rule):
+    code = "RNG002"
+    name = "legacy-global-numpy-random"
+    description = (
+        "legacy np.random.* global-state draws are forbidden in sketch "
+        "code; use a Generator built from a threaded seed"
+    )
+    scopes = ("repro.core", "repro.parallel")
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            for prefix in _NUMPY_RANDOM_PREFIXES:
+                if not name.startswith(prefix + "."):
+                    continue
+                attr = name[len(prefix) + 1:]
+                if attr.split(".")[0] in _SEEDABLE_CONSTRUCTORS:
+                    continue
+                yield self.finding(
+                    module, node,
+                    f"{name}() draws from numpy's hidden global RNG — "
+                    "use np.random.default_rng(seed) instead",
+                )
+                break
+
+
+class StdlibRandomRule(Rule):
+    code = "RNG003"
+    name = "stdlib-random"
+    description = (
+        "the stdlib `random` module (process-global Mersenne Twister) "
+        "is forbidden in sketch code"
+    )
+    scopes = ("repro.core", "repro.parallel")
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        imported = {
+            alias.asname or alias.name
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Import)
+            for alias in node.names
+            if alias.name == "random"
+        }
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield self.finding(
+                    module, node,
+                    "importing from the stdlib `random` module — use a "
+                    "seeded np.random.Generator",
+                )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                root, _, rest = name.partition(".")
+                if root in imported and rest:
+                    yield self.finding(
+                        module, node,
+                        f"{name}() uses the process-global stdlib RNG — "
+                        "use a seeded np.random.Generator",
+                    )

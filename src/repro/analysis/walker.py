@@ -1,0 +1,318 @@
+"""AST walking core for the repro static-analysis framework.
+
+The framework is deliberately small: a :class:`Project` parses every
+file once into a :class:`ModuleInfo` (source, AST, parent links,
+``# repro: noqa[...]`` suppressions), and each :class:`Rule` walks the
+trees it is scoped to and yields :class:`Finding` objects.  Rules are
+pure functions of the parsed project, so the same engine serves the
+CLI (``python -m repro.analysis``), the clean-tree regression test and
+the known-good/known-bad corpus tests.
+
+Suppressions
+------------
+A finding on line *n* is suppressed when line *n* of the source carries
+a ``# repro: noqa`` comment, either blanket or rule-scoped::
+
+    risky_thing()  # repro: noqa[RNG001]
+    other_thing()  # repro: noqa[RNG001,FLT001]
+    anything()     # repro: noqa
+
+Suppressions are recorded (not silently dropped) so ``--json`` output
+and the tests can audit them.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import AnalysisError
+
+#: Matches one ``# repro: noqa`` / ``# repro: noqa[CODE,...]`` comment.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?",
+)
+
+_RULE_CODE_RE = re.compile(r"^[A-Z]{2,4}\d{3}$")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    suppressed: bool = False
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def render(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.location()}: {self.code}{tag} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: noqa`` comment on one physical line."""
+
+    line: int
+    codes: frozenset[str] | None  # None = blanket suppression
+
+    def covers(self, code: str) -> bool:
+        return self.codes is None or code in self.codes
+
+
+def parse_suppressions(source: str) -> dict[int, Suppression]:
+    """Extract per-line noqa suppressions from *source*."""
+    table: dict[int, Suppression] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        codes = (
+            None
+            if raw is None
+            else frozenset(
+                code.strip() for code in raw.split(",") if code.strip()
+            )
+        )
+        table[lineno] = Suppression(line=lineno, codes=codes)
+    return table
+
+
+def module_name_for_path(path: Path) -> str:
+    """Infer the dotted module name of *path* from its ``repro`` root.
+
+    ``src/repro/core/kll.py`` → ``repro.core.kll``; a path outside any
+    ``repro`` package keeps its stem so scoped rules simply never match.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "__init__" in parts[-1:]:
+        parts = parts[:-1]
+    for anchor in range(len(parts) - 1, -1, -1):
+        if parts[anchor] == "repro":
+            return ".".join(parts[anchor:]) or "repro"
+    return parts[-1] if parts else "<unknown>"
+
+
+class ModuleInfo:
+    """One parsed source file plus the lookup tables rules rely on."""
+
+    def __init__(
+        self,
+        source: str,
+        path: str,
+        module: str,
+    ) -> None:
+        self.source = source
+        self.path = path
+        self.module = module
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:  # pragma: no cover - corpus is valid
+            raise AnalysisError(
+                f"cannot parse {path}: {exc}"
+            ) from exc
+        self.suppressions = parse_suppressions(source)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    @classmethod
+    def from_path(cls, path: Path) -> "ModuleInfo":
+        return cls(
+            source=path.read_text(encoding="utf-8"),
+            path=str(path),
+            module=module_name_for_path(path),
+        )
+
+    # ------------------------------------------------------------------
+    # Tree helpers shared by rules
+    # ------------------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield parents from the closest enclosing node to the module."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def in_scope(self, prefixes: Sequence[str] | None) -> bool:
+        """Whether this module falls under any of the dotted *prefixes*."""
+        if prefixes is None:
+            return True
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+class Project:
+    """The set of modules one analysis run sees.
+
+    Cross-file rules (e.g. registry conformance) look other modules up
+    through :meth:`find_module`, so corpus tests can assemble synthetic
+    projects from in-memory sources.
+    """
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules = list(modules)
+        self._by_module = {info.module: info for info in self.modules}
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[Path]) -> "Project":
+        return cls(ModuleInfo.from_path(path) for path in paths)
+
+    def find_module(self, module: str) -> ModuleInfo | None:
+        return self._by_module.get(module)
+
+
+class Rule(abc.ABC):
+    """One checkable contract.
+
+    Subclasses set ``code`` (stable ID used in output and noqa
+    comments), ``name``, ``description`` and optionally ``scopes`` — a
+    tuple of dotted module prefixes the rule applies to (``None`` means
+    every module).
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    scopes: tuple[str, ...] | None = None
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.code and not _RULE_CODE_RE.match(cls.code):
+            raise AnalysisError(
+                f"rule code {cls.code!r} must look like 'ABC123'"
+            )
+
+    @abc.abstractmethod
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        """Yield findings for *module* (already scope-filtered)."""
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """Build a finding anchored at *node*, honouring suppressions."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        suppression = module.suppressions.get(line)
+        suppressed = (
+            suppression is not None and suppression.covers(self.code)
+        )
+        return Finding(
+            code=self.code,
+            message=message,
+            path=module.path,
+            line=line,
+            col=col,
+            suppressed=suppressed,
+        )
+
+
+def run_rules(
+    project: Project, rules: Sequence[Rule]
+) -> list[Finding]:
+    """Run every rule over every in-scope module, sorted by location.
+
+    Suppressed findings are included (flagged), so callers decide
+    whether to count them; :func:`active_findings` filters them out.
+    """
+    findings: list[Finding] = []
+    for module in project.modules:
+        for rule in rules:
+            if not module.in_scope(rule.scopes):
+                continue
+            findings.extend(rule.check(module, project))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def active_findings(findings: Iterable[Finding]) -> list[Finding]:
+    return [f for f in findings if not f.suppressed]
+
+
+# ----------------------------------------------------------------------
+# Shared AST predicates
+# ----------------------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def is_float_literal(node: ast.AST) -> bool:
+    """A literal that can only be a float (e.g. ``0.0``, ``-1.5``)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return is_float_literal(node.operand)
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, float
+    )
+
+
+def is_float_cast(node: ast.AST) -> bool:
+    """A ``float(...)`` / ``np.float64(...)`` call."""
+    if not isinstance(node, ast.Call):
+        return False
+    return dotted_name(node.func) in {
+        "float", "np.float64", "numpy.float64", "np.float32",
+    }
+
+
+def iter_with_context_names(
+    with_node: ast.With | ast.AsyncWith,
+) -> Iterator[str]:
+    """Dotted names mentioned anywhere in the with-items' contexts."""
+    for item in with_node.items:
+        for node in ast.walk(item.context_expr):
+            name = dotted_name(node)
+            if name is not None:
+                yield name

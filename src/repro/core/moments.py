@@ -17,6 +17,7 @@ from a smooth distribution (the real-world-data weakness of Sec 4.5).
 
 from __future__ import annotations
 
+import contextlib
 import math
 from typing import Iterable, Sequence
 
@@ -326,7 +327,7 @@ class MomentsSketch(QuantileSketch):
         n = power_sums[0]
         s = 0.5 * (lo + hi)
         h = 0.5 * (hi - lo)
-        if h == 0.0:
+        if h <= 0.0:
             raise InsufficientDataError("all observed values are identical")
         d = origin - s
         k = power_sums.size - 1
@@ -453,10 +454,11 @@ class MomentsSketch(QuantileSketch):
     def quantiles(self, qs: Iterable[float]) -> list[float]:
         """Batch query: the density is fitted once and reused."""
         qs = [validate_quantile(q) for q in qs]
-        try:
+        # Warm the cached solution once for the whole batch; a solver
+        # failure here is not swallowed — each per-quantile call below
+        # re-raises or falls back through quantile()'s handling.
+        with contextlib.suppress(InsufficientDataError, SolverError):
             self._solve()
-        except (InsufficientDataError, SolverError):
-            pass
         return [self.quantile(q) for q in qs]
 
     def rank(self, value: float) -> int:

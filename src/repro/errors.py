@@ -62,3 +62,9 @@ class PipelineError(StreamingError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis framework was misconfigured or hit an
+    unparseable input (bad rule code, unknown selection, syntax error
+    in an analysed file)."""

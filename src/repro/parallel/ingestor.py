@@ -45,7 +45,9 @@ from repro.parallel.sharded import ShardedSketch
 BACKENDS = ("serial", "thread", "process")
 
 
-def _as_values(batch) -> np.ndarray:
+def _as_values(
+    batch: EventBatch | np.ndarray | Sequence[float],
+) -> np.ndarray:
     if isinstance(batch, EventBatch):
         return np.asarray(batch.values, dtype=np.float64).ravel()
     return np.asarray(batch, dtype=np.float64).ravel()

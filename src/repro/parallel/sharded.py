@@ -24,7 +24,7 @@ stalling it.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -216,7 +216,7 @@ class ShardedSketch(QuantileSketch):
         self._require_nonempty()
         return self._merged_view().quantile(q)
 
-    def quantiles(self, qs) -> list[float]:
+    def quantiles(self, qs: Iterable[float]) -> list[float]:
         self._require_nonempty()
         return self._merged_view().quantiles(qs)
 

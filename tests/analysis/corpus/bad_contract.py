@@ -1,0 +1,15 @@
+# module: repro.core.badsketch
+"""Known-bad: incomplete interface, missing bookkeeping, unregistered."""
+from repro.core.base import QuantileSketch
+
+
+class BadSketch(QuantileSketch):  # expect: SK001,SK003
+    """Missing merge/size_bytes; update never observes; unregistered."""
+
+    name = "bad"
+
+    def update(self, value):  # expect: SK002
+        self._items.append(value)
+
+    def quantile(self, q):
+        return 0.0

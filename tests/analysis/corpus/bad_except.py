@@ -1,0 +1,23 @@
+# module: repro.streaming.badexc
+"""Known-bad: bare excepts and silent swallows."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # expect: EXC001,EXC002
+        pass
+
+
+def swallow_specific(fn):
+    try:
+        return fn()
+    except ValueError:  # expect: EXC002
+        ...
+
+
+def bare_with_fallback(fn):
+    try:
+        return fn()
+    except:  # expect: EXC001
+        return None

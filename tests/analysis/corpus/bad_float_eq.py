@@ -1,0 +1,15 @@
+# module: repro.core.badfloat
+"""Known-bad: exact equality on float expressions."""
+import math
+
+import numpy as np
+
+
+def compare(x, y, values):
+    a = x == 0.5  # expect: FLT001
+    b = float(x) != y  # expect: FLT001
+    c = x == math.inf  # expect: FLT001
+    d = y != np.nan  # expect: FLT001
+    e = -0.0 == x  # expect: FLT001
+    f = 0.1 <= x == 0.2  # expect: FLT001
+    return a, b, c, d, e, f

@@ -1,0 +1,22 @@
+# module: repro.parallel.badlock
+"""Known-bad: shared-state writes outside any lock context."""
+import threading
+
+
+class RacyAccumulator:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total = 0.0
+
+    def add(self, value):
+        self._count += 1  # expect: LCK001
+        self._total = self._total + value  # expect: LCK001
+
+    def reset(self):
+        self._count, self._total = 0, 0.0  # expect: LCK001,LCK001
+
+    def add_guarded_then_leak(self, value):
+        with self._lock:
+            self._total += value
+        self._dirty = True  # expect: LCK001

@@ -1,0 +1,15 @@
+# module: repro.core.badrng
+"""Known-bad: every RNG discipline violation in one file."""
+import random
+
+import numpy as np
+
+
+def sample(n):
+    rng = np.random.default_rng()  # expect: RNG001
+    entropy = np.random.default_rng(None)  # expect: RNG001
+    legacy = np.random.uniform(0.0, 1.0, size=n)  # expect: RNG002
+    np.random.shuffle(legacy)  # expect: RNG002
+    coin = random.random()  # expect: RNG003
+    pick = random.choice([1, 2, 3])  # expect: RNG003
+    return rng, entropy, legacy, coin, pick

@@ -1,0 +1,50 @@
+# module: repro.core.goodsketch
+"""Known-good: full interface, delegated bookkeeping, abstract base."""
+import abc
+
+from repro.core.base import QuantileSketch
+
+
+class GoodSketch(QuantileSketch):
+    name = "good"
+
+    def update(self, value):
+        self._observe(value)
+
+    def merge(self, other):
+        self._merge_bookkeeping(other)
+
+    def quantile(self, q):
+        return 0.0
+
+    def size_bytes(self):
+        return 0
+
+
+class DelegatingSketch(QuantileSketch):
+    """update reaches _observe_batch through update_batch (DCS-style)."""
+
+    name = "delegating"
+
+    def update(self, value):
+        self.update_batch([value])
+
+    def update_batch(self, values):
+        self._observe_batch(values)
+
+    def merge(self, other):
+        self._merge_bookkeeping(other)
+
+    def quantile(self, q):
+        return 0.0
+
+    def size_bytes(self):
+        return 0
+
+
+class AbstractVariant(QuantileSketch):
+    """Declares abstract members, so the concrete-class rules skip it."""
+
+    @abc.abstractmethod
+    def update(self, value):
+        ...

@@ -1,0 +1,22 @@
+# module: repro.streaming.goodexc
+"""Known-good: named exceptions with real handling."""
+import contextlib
+
+
+def handled(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None
+
+
+def reraised(fn):
+    try:
+        return fn()
+    except KeyError as exc:
+        raise RuntimeError("lookup failed") from exc
+
+
+def best_effort(fn):
+    with contextlib.suppress(OSError):
+        fn()

@@ -1,0 +1,12 @@
+# module: repro.core.goodfloat
+"""Known-good: orderings, tolerances, integer equality, justified noqa."""
+import math
+
+
+def compare(x, y, n, mode):
+    a = x <= 0.5
+    b = math.isclose(x, y, rel_tol=1e-9)
+    c = n == 3
+    d = mode == "dense"
+    e = x == 0.0  # repro: noqa[FLT001] exact IEEE zero sentinel
+    return a, b, c, d, e

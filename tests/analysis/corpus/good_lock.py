@@ -1,0 +1,34 @@
+# module: repro.parallel.goodlock
+"""Known-good: every shared write guarded, construction exempt."""
+import threading
+
+
+class GuardedAccumulator:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._shard_locks = [threading.Lock() for _ in range(4)]
+        self._count = 0
+        self._totals = [0.0] * 4
+
+    def add(self, value):
+        with self._lock:
+            self._count += 1
+
+    def add_to_shard(self, shard, value):
+        with self._shard_locks[shard]:
+            self._totals[shard] += value
+
+    def reset(self):
+        with self._lock:
+            self._count, self._dirty = 0, False
+
+    def local_work(self, values):
+        total = 0.0
+        for value in values:
+            total += value
+        return total
+
+
+def module_level_helper(state):
+    state.count = 0
+    return state

@@ -1,0 +1,16 @@
+# module: repro.core.goodrng
+"""Known-good: seeded generators threaded through parameters."""
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def make_rng_keyword(seed=0):
+    return np.random.default_rng(seed=seed)
+
+
+def spawn(seed):
+    sequence = np.random.SeedSequence(seed)
+    return np.random.Generator(np.random.PCG64(sequence))

@@ -1,0 +1,7 @@
+# module: repro.experiments.scratch
+"""RNG violations outside repro.core / repro.parallel do not fire."""
+import numpy as np
+
+
+def sample(n):
+    return np.random.default_rng().normal(size=n)

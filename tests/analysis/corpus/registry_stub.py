@@ -1,0 +1,7 @@
+# module: repro.core.registry
+"""Synthetic registry joined to corpus projects for SK003 checks."""
+
+SKETCH_CLASSES = {
+    "good": GoodSketch,  # noqa: F821 - AST-only stub, never imported
+    "delegating": DelegatingSketch,  # noqa: F821
+}

@@ -1,0 +1,69 @@
+"""Corpus loader for the static-analysis self tests.
+
+Corpus files under ``corpus/`` are plain Python sources with two
+comment conventions:
+
+* line 1: ``# module: <dotted.name>`` — the module identity the
+  snippet is analysed under (rules scope on it);
+* ``# expect: CODE[,CODE...]`` on any line — the rule codes that must
+  fire *exactly* there.
+
+``registry_stub.py`` is joined to every corpus project so the
+cross-file registry rule resolves.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis import ModuleInfo, active_findings, analyze_source
+
+CORPUS = Path(__file__).parent / "corpus"
+
+_MODULE_RE = re.compile(r"#\s*module:\s*(?P<module>[\w.]+)")
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(?P<codes>[A-Z0-9_,\s]+)")
+
+
+def load_corpus_module(filename: str) -> ModuleInfo:
+    path = CORPUS / filename
+    source = path.read_text(encoding="utf-8")
+    match = _MODULE_RE.match(source.splitlines()[0])
+    assert match is not None, f"{filename} lacks a '# module:' header"
+    return ModuleInfo(
+        source=source, path=str(path), module=match.group("module")
+    )
+
+
+def expected_hits(info: ModuleInfo) -> list[tuple[int, str]]:
+    """(line, code) pairs declared by ``# expect:`` markers."""
+    hits: list[tuple[int, str]] = []
+    for lineno, text in enumerate(info.source.splitlines(), start=1):
+        match = _EXPECT_RE.search(text)
+        if match is None:
+            continue
+        for code in match.group("codes").split(","):
+            code = code.strip()
+            if code:
+                hits.append((lineno, code))
+    return sorted(hits)
+
+
+def corpus_findings(filename: str) -> tuple[
+    list[tuple[int, str]], list[tuple[int, str]]
+]:
+    """(actual, expected) active (line, code) pairs for one snippet."""
+    info = load_corpus_module(filename)
+    stub = load_corpus_module("registry_stub.py")
+    findings = analyze_source(
+        info.source,
+        module=info.module,
+        path=info.path,
+        extra_modules=[stub] if info.module != stub.module else [],
+    )
+    actual = sorted(
+        (finding.line, finding.code)
+        for finding in active_findings(findings)
+        if finding.path == info.path
+    )
+    return actual, expected_hits(info)

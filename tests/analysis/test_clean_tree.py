@@ -1,0 +1,43 @@
+"""The repo's own source must stay lint-clean.
+
+This is the regression half of the static-analysis gate: the corpus
+tests prove each rule *can* fire; this test proves none of them fire
+on ``src/repro``, so a PR reintroducing an unseeded RNG, a float
+equality, or an unguarded shared-state write fails the tier-1 suite —
+not just ``make lint``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.analysis import active_findings, analyze_paths
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+REPO_ROOT = SRC_ROOT.parent.parent
+
+
+def test_src_tree_has_zero_active_findings():
+    findings = active_findings(analyze_paths([SRC_ROOT]))
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_check_gate_passes_on_src_tree():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_ROOT.parent), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--check", str(SRC_ROOT)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        check=False,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 finding(s)" in result.stdout

@@ -1,0 +1,107 @@
+"""CLI behaviour of ``python -m repro.analysis``: output modes,
+selection, exit codes, and module-name inference from on-disk layout."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import collect_paths, main
+from repro.errors import AnalysisError
+
+BAD_SKETCH_DIR_SOURCE = (
+    "import numpy as np\n"
+    "\n"
+    "def sample():\n"
+    "    return np.random.default_rng()\n"
+)
+
+
+@pytest.fixture()
+def bad_tree(tmp_path):
+    """A fake `repro/core` tree with one RNG001 violation."""
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD_SKETCH_DIR_SOURCE)
+    return tmp_path
+
+
+def test_check_exits_nonzero_on_findings(bad_tree, capsys):
+    code = main(["--check", str(bad_tree)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "RNG001" in out
+    assert "1 finding(s)" in out
+
+
+def test_report_mode_exits_zero_even_with_findings(bad_tree, capsys):
+    assert main([str(bad_tree)]) == 0
+    assert "RNG001" in capsys.readouterr().out
+
+
+def test_check_exits_zero_on_clean_tree(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "ok.py").write_text("def f(seed):\n    return seed\n")
+    assert main(["--check", str(tmp_path)]) == 0
+
+
+def test_json_output(bad_tree, capsys):
+    assert main(["--json", str(bad_tree)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"] == {"active": 1, "suppressed": 0}
+    (finding,) = payload["findings"]
+    assert finding["code"] == "RNG001"
+    assert finding["path"].endswith("bad.py")
+    assert finding["line"] == 4
+
+
+def test_select_and_ignore(bad_tree, capsys):
+    assert main(["--check", "--select", "FLT001", str(bad_tree)]) == 0
+    assert main(["--check", "--ignore", "RNG001", str(bad_tree)]) == 0
+    assert main(["--check", "--select", "RNG001", str(bad_tree)]) == 1
+    capsys.readouterr()
+
+
+def test_unknown_rule_code_is_a_usage_error(bad_tree, capsys):
+    assert main(["--select", "NOPE999", str(bad_tree)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_target_is_a_usage_error(capsys):
+    assert main(["--check", "definitely/not/here"]) == 2
+    assert "neither a directory" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RNG001", "FLT001", "SK001", "LCK001", "EXC001"):
+        assert code in out
+
+
+def test_show_suppressed(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "hush.py").write_text(
+        "def f(x):\n    return x == 0.5  # repro: noqa[FLT001]\n"
+    )
+    assert main(["--check", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["--show-suppressed", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "(suppressed)" in out and "1 suppressed" in out
+
+
+def test_collect_paths_deduplicates_and_sorts(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    a = pkg / "a.py"
+    b = pkg / "b.py"
+    a.write_text("x = 1\n")
+    b.write_text("y = 2\n")
+    paths = collect_paths([str(tmp_path), str(a)])
+    assert paths == [a, b]
+    with pytest.raises(AnalysisError):
+        collect_paths([str(tmp_path / "missing.py")])

@@ -1,0 +1,63 @@
+"""Suppression semantics of ``# repro: noqa[...]`` comments."""
+
+from __future__ import annotations
+
+from repro.analysis import active_findings, analyze_source
+
+MODULE = "repro.core.noqa_demo"
+
+
+def _findings(source: str):
+    return analyze_source(source, module=MODULE)
+
+
+def test_rule_scoped_noqa_suppresses_only_that_rule():
+    source = "def f(x):\n    return x == 0.5  # repro: noqa[FLT001]\n"
+    findings = _findings(source)
+    assert [f.code for f in findings] == ["FLT001"]
+    assert findings[0].suppressed
+    assert active_findings(findings) == []
+
+
+def test_blanket_noqa_suppresses_every_rule():
+    source = (
+        "def f(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except:  # repro: noqa\n"
+        "        pass\n"
+    )
+    findings = _findings(source)
+    assert sorted(f.code for f in findings) == ["EXC001", "EXC002"]
+    assert all(f.suppressed for f in findings)
+    assert active_findings(findings) == []
+
+
+def test_wrong_code_noqa_does_not_suppress():
+    source = "def f(x):\n    return x == 0.5  # repro: noqa[RNG001]\n"
+    findings = _findings(source)
+    assert [f.code for f in findings] == ["FLT001"]
+    assert not findings[0].suppressed
+    assert active_findings(findings) == findings
+
+
+def test_multi_code_noqa():
+    source = (
+        "def f(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except:  # repro: noqa[EXC001,EXC002]\n"
+        "        pass\n"
+    )
+    assert active_findings(_findings(source)) == []
+
+
+def test_noqa_on_a_different_line_has_no_effect():
+    source = (
+        "# repro: noqa[FLT001]\n"
+        "def f(x):\n"
+        "    return x == 0.5\n"
+    )
+    findings = _findings(source)
+    assert [f.code for f in findings] == ["FLT001"]
+    assert not findings[0].suppressed

@@ -1,0 +1,55 @@
+"""Corpus tests: every rule fires exactly where the known-bad snippets
+say, and stays silent on the known-good ones.
+
+The ``# expect:`` markers inside the corpus files are the single
+source of truth for locations, so adding a case is editing one file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ALL_RULES, RULES_BY_CODE
+from tests.analysis.harness import CORPUS, corpus_findings, expected_hits, load_corpus_module
+
+BAD_FILES = sorted(
+    path.name for path in CORPUS.glob("bad_*.py")
+)
+GOOD_FILES = sorted(
+    path.name for path in CORPUS.glob("good_*.py")
+)
+
+
+@pytest.mark.parametrize("filename", BAD_FILES)
+def test_known_bad_snippets_hit_exactly(filename):
+    actual, expected = corpus_findings(filename)
+    assert expected, f"{filename} declares no # expect: markers"
+    assert actual == expected
+
+
+@pytest.mark.parametrize("filename", GOOD_FILES)
+def test_known_good_snippets_stay_clean(filename):
+    actual, expected = corpus_findings(filename)
+    assert expected == []
+    assert actual == []
+
+
+def test_out_of_scope_module_is_exempt():
+    actual, _ = corpus_findings("out_of_scope_rng.py")
+    assert actual == []
+
+
+def test_every_rule_has_a_known_bad_witness():
+    """Each registered rule must be proven to fire by some bad snippet."""
+    witnessed: set[str] = set()
+    for filename in BAD_FILES:
+        for _, code in expected_hits(load_corpus_module(filename)):
+            witnessed.add(code)
+    assert witnessed == set(RULES_BY_CODE)
+
+
+def test_rule_metadata_is_complete():
+    for rule in ALL_RULES:
+        assert rule.code and rule.name and rule.description
+        if rule.scopes is not None:
+            assert all(scope.startswith("repro") for scope in rule.scopes)

@@ -1,0 +1,98 @@
+"""Registry-driven error-path conformance.
+
+Every sketch the registry knows must honour the abstract contract in
+``base.py`` uniformly: an empty sketch refuses every query with
+:class:`EmptySketchError`, and a quantile outside (0, 1] raises
+:class:`InvalidQuantileError` regardless of state.  Driving the test
+from ``SKETCH_CLASSES`` means a newly registered sketch is covered
+automatically (and the SK003 lint rule guarantees registration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.registry import SKETCH_CLASSES, paper_config
+from repro.errors import EmptySketchError, InvalidQuantileError
+from repro.parallel import ShardedSketch
+
+ALL_SKETCHES = sorted(SKETCH_CLASSES)
+
+#: Values valid for every sketch, DCS's bounded universe included.
+FILL_VALUES = np.linspace(1.0, 50.0, 64)
+
+INVALID_QUANTILES = (0.0, -0.25, -1.0, 1.0 + 1e-9, 2.0, float("nan"))
+
+
+def _empty(name):
+    return paper_config(name, seed=11)
+
+
+def _filled(name):
+    sketch = paper_config(name, seed=11)
+    sketch.update_batch(FILL_VALUES)
+    return sketch
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+class TestEmptySketchRaises:
+    def test_quantile(self, name):
+        with pytest.raises(EmptySketchError):
+            _empty(name).quantile(0.5)
+
+    def test_quantiles(self, name):
+        with pytest.raises(EmptySketchError):
+            _empty(name).quantiles([0.25, 0.5])
+
+    def test_rank(self, name):
+        with pytest.raises(EmptySketchError):
+            _empty(name).rank(1.0)
+
+    def test_cdf(self, name):
+        with pytest.raises(EmptySketchError):
+            _empty(name).cdf(1.0)
+
+    def test_min_max(self, name):
+        sketch = _empty(name)
+        with pytest.raises(EmptySketchError):
+            sketch.min
+        with pytest.raises(EmptySketchError):
+            sketch.max
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+@pytest.mark.parametrize("q", INVALID_QUANTILES)
+def test_invalid_quantile_raises(name, q):
+    with pytest.raises(InvalidQuantileError):
+        _filled(name).quantile(q)
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+def test_invalid_member_of_batch_query_raises(name):
+    with pytest.raises(InvalidQuantileError):
+        _filled(name).quantiles([0.5, -0.5])
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+def test_boundary_quantiles_are_valid(name):
+    sketch = _filled(name)
+    # q = 1.0 is inside the contract's half-open domain; a tiny
+    # positive q is too.  Both must answer, not raise.
+    assert np.isfinite(sketch.quantile(1.0))
+    assert np.isfinite(sketch.quantile(1e-9))
+
+
+def test_sharded_sketch_honours_the_same_contract():
+    sharded = ShardedSketch(
+        lambda: paper_config("kll", seed=11), n_shards=4
+    )
+    with pytest.raises(EmptySketchError):
+        sharded.quantile(0.5)
+    with pytest.raises(EmptySketchError):
+        sharded.rank(1.0)
+    sharded.update_batch(FILL_VALUES)
+    with pytest.raises(InvalidQuantileError):
+        sharded.quantile(0.0)
+    with pytest.raises(InvalidQuantileError):
+        sharded.quantile(1.5)
