@@ -1,7 +1,8 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: help test-fast test-all lint analysis typecheck bench-parallel
+.PHONY: help test-fast test-all lint analysis typecheck bench-parallel \
+	serve bench-service
 
 help:
 	@echo "Targets:"
@@ -11,6 +12,8 @@ help:
 	@echo "  analysis       just the AST rules (python -m repro.analysis --check)"
 	@echo "  typecheck      just mypy --strict over repro.core and repro.parallel"
 	@echo "  bench-parallel parallel-scaling micro-benchmark"
+	@echo "  serve          run the quantile service TCP server (port 7107)"
+	@echo "  bench-service  quantile-service ingest/query/overload benchmark"
 
 # Tier-1 gate: everything except tests marked `slow` (pyproject's
 # addopts already applies -m 'not slow').
@@ -40,3 +43,11 @@ typecheck:
 
 bench-parallel:
 	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_parallel_scaling.py
+
+# Foreground quantile service on the default port; override with e.g.
+# `make serve SERVE_ARGS="--port 9000 --sketch ddsketch"`.
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro.service serve $(SERVE_ARGS)
+
+bench-service:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_service.py

@@ -1,0 +1,64 @@
+"""Quantile-service end-to-end benchmark — throughput, latency, shedding.
+
+Not a paper figure: the paper benchmarks sketches inside Flink, and
+this benchmark measures the same sketches behind this repo's own TCP
+front end (:mod:`repro.service`) — concurrent ingesting clients, a
+query-latency phase summarised by a repo sketch, and a forced-overload
+phase proving the bounded queue sheds explicitly instead of buffering
+without limit.  It writes ``service.json`` through the standard export
+machinery (the CI workflow uploads it as an artifact).
+
+The checks assert structure, not speed: throughput and latency numbers
+depend on the runner, but shedding must engage exactly when the drain
+workers are paused, every offered event must be either applied or shed,
+and latency percentiles must be ordered.
+
+Run standalone with ``python benchmarks/bench_service.py [--output DIR]``
+or through pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.export import write_json
+from repro.experiments.service_bench import run_service_benchmark
+
+
+def _check(result) -> None:
+    assert result.events > 0
+    assert result.ingest_events_per_sec > 0
+    latencies = result.query_latency_ms
+    assert latencies["p50"] <= latencies["p90"] <= latencies["p99"]
+    # The overload phase outruns the bounded queue by construction.
+    assert 0 < result.shed_requests <= result.overload_attempts
+    assert result.server_stats["shed_requests"] == result.shed_requests
+    # Conservation: every ingested value was applied, none invented.
+    assert result.server_stats["ingested_values"] >= result.events
+
+
+def bench_service(tmp_path_factory=None, output: Path | None = None):
+    result = run_service_benchmark()
+    _check(result)
+    print(result.to_table())
+    if output is not None:
+        path = write_json(result, output / "service.json")
+        print(f"\nwrote {path}")
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="DIR",
+        help="directory for the JSON report",
+    )
+    args = parser.parse_args(argv)
+    bench_service(output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,27 @@ class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the quantile service."""
+
+
+class ProtocolError(ServiceError):
+    """A wire frame could not be encoded or decoded."""
+
+
+class ServerOverloadedError(ServiceError):
+    """The server shed the request because its ingest queue was full.
+
+    Load shedding is an explicit, first-class response (DESIGN §9):
+    the client surfaces it instead of retrying blindly, so callers can
+    apply their own backpressure policy.
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """The client exhausted its retries without reaching the server."""
+
+
 class AnalysisError(ReproError):
     """The static-analysis framework was misconfigured or hit an
     unparseable input (bad rule code, unknown selection, syntax error

@@ -24,6 +24,7 @@ from repro.experiments.late_data import run_late_data
 from repro.experiments.memory import measure_memory
 from repro.experiments.parallel_scaling import run_parallel_scaling
 from repro.experiments.related_work import run_related_work
+from repro.experiments.service_bench import run_service_benchmark
 from repro.experiments.size_sweep import run_size_sweep
 from repro.experiments.speed import (
     measure_insertion,
@@ -75,6 +76,7 @@ EXPERIMENTS: dict[str, Callable[[], Any]] = {
     "related": run_related_work,
     "sweep": run_size_sweep,
     "parallel": run_parallel_scaling,
+    "service": run_service_benchmark,
 }
 
 

@@ -26,6 +26,7 @@ from repro.experiments.late_data import LateDataResult
 from repro.experiments.memory import MemoryResult
 from repro.experiments.parallel_scaling import ParallelScalingResult
 from repro.experiments.related_work import RelatedWorkResult
+from repro.experiments.service_bench import ServiceBenchmarkResult
 from repro.experiments.size_sweep import SizeSweepResult
 from repro.experiments.speed import SpeedResult
 from repro.experiments.summary import SummaryTable
@@ -163,6 +164,26 @@ def _parallel_scaling(result: ParallelScalingResult) -> dict[str, Any]:
     }
 
 
+def _service(result: ServiceBenchmarkResult) -> dict[str, Any]:
+    return {
+        "kind": "service-benchmark",
+        "sketch": result.sketch,
+        "metrics": result.metrics,
+        "clients": result.clients,
+        "events": result.events,
+        "batch_size": result.batch_size,
+        "queue_size": result.queue_size,
+        "ingest_seconds": result.ingest_seconds,
+        "ingest_events_per_sec": result.ingest_events_per_sec,
+        "ingest_backoffs": result.ingest_backoffs,
+        "queries": result.queries,
+        "query_latency_ms": result.query_latency_ms,
+        "overload_attempts": result.overload_attempts,
+        "shed_requests": result.shed_requests,
+        "server_stats": result.server_stats,
+    }
+
+
 def _size_sweep(result: SizeSweepResult) -> dict[str, Any]:
     return {
         "kind": "size-sweep",
@@ -188,6 +209,7 @@ _CONVERTERS = [
     (RelatedWorkResult, _related),
     (SizeSweepResult, _size_sweep),
     (ParallelScalingResult, _parallel_scaling),
+    (ServiceBenchmarkResult, _service),
 ]
 
 

@@ -1,0 +1,262 @@
+"""End-to-end benchmark of the quantile service (beyond the paper).
+
+The paper measures sketches inside a stream processor; this experiment
+measures them behind the repo's own network front end
+(:mod:`repro.service`): a real TCP server, concurrent ingesting
+clients, then a query phase and a forced-overload phase.  Three
+headline numbers come out:
+
+* **ingest throughput** — events/second sustained end-to-end (client
+  threads -> wire -> bounded queue -> registry), including the final
+  ``flush`` barrier so queued-but-unapplied work is not counted;
+* **query latency** — per-request wall latency of quantile queries,
+  summarised (fittingly) by one of the repo's own sketches rather than
+  by storing every sample;
+* **shed requests** — how many ingest requests the server explicitly
+  shed when its drain workers were paused and the bounded queue filled,
+  demonstrating the backpressure contract.
+
+Scale follows ``REPRO_SCALE`` like every other experiment; the JSON
+export carries every number the CI artifact needs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.registry import paper_config
+from repro.errors import ServerOverloadedError
+from repro.experiments.config import (
+    BASE_SEED,
+    ExperimentScale,
+    current_scale,
+)
+from repro.experiments.reporting import format_table
+from repro.service.client import QuantileClient
+from repro.service.registry import MetricRegistry, default_sketch_factory
+from repro.service.server import QuantileServer
+
+#: Quantiles the query phase cycles through (the paper's tail focus).
+QUERY_QS = (0.5, 0.9, 0.95, 0.99)
+
+#: Quantiles reported for the latency distribution.
+LATENCY_QS = (0.5, 0.9, 0.99)
+
+
+@dataclass
+class ServiceBenchmarkResult:
+    """Throughput, latency and shedding numbers for one run."""
+
+    sketch: str
+    metrics: int
+    clients: int
+    events: int
+    batch_size: int
+    queue_size: int
+    ingest_seconds: float
+    ingest_events_per_sec: float
+    ingest_backoffs: int
+    queries: int
+    #: e.g. ``{"p50": 0.4, "p90": 0.9, "p99": 2.1}`` in milliseconds.
+    query_latency_ms: dict[str, float] = field(default_factory=dict)
+    overload_attempts: int = 0
+    shed_requests: int = 0
+    server_stats: dict[str, int] = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        rows = [
+            ["ingest throughput", f"{self.ingest_events_per_sec / 1e3:.1f} kel/s"],
+            ["ingest backoffs", str(self.ingest_backoffs)],
+            ["query latency p50", f"{self.query_latency_ms['p50']:.3f} ms"],
+            ["query latency p90", f"{self.query_latency_ms['p90']:.3f} ms"],
+            ["query latency p99", f"{self.query_latency_ms['p99']:.3f} ms"],
+            [
+                "shed under overload",
+                f"{self.shed_requests}/{self.overload_attempts} requests",
+            ],
+        ]
+        return format_table(
+            ["measure", "value"],
+            rows,
+            title=(
+                f"quantile service ({self.sketch} partitions, "
+                f"{self.metrics} metrics, {self.clients} clients, "
+                f"{self.events:,} events, queue={self.queue_size})"
+            ),
+        )
+
+
+def _metric_names(metrics: int) -> list[str]:
+    return [f"latency.service{index}" for index in range(metrics)]
+
+
+def _ingest_phase(
+    address: tuple[str, int],
+    names: list[str],
+    clients: int,
+    events: int,
+    batch_size: int,
+    seed: int,
+) -> tuple[float, int, int]:
+    """Drive *clients* concurrent writers; returns (secs, sent, backoffs)."""
+    per_client = max(1, events // clients)
+    backoffs = [0] * clients
+    sent = [0] * clients
+    errors: list[BaseException] = []
+
+    def run(index: int) -> None:
+        rng = np.random.default_rng(seed + index)
+        client = QuantileClient(*address, retries=3)
+        try:
+            remaining = per_client
+            batch_index = 0
+            while remaining:
+                size = min(batch_size, remaining)
+                values = rng.lognormal(mean=4.6, sigma=0.5, size=size)
+                metric = names[(index + batch_index) % len(names)]
+                while True:
+                    try:
+                        client.ingest(metric, values.tolist())
+                        break
+                    except ServerOverloadedError:
+                        # The documented backpressure contract: back
+                        # off briefly and re-offer the batch.
+                        backoffs[index] += 1
+                        time.sleep(0.002)
+                sent[index] += size
+                remaining -= size
+                batch_index += 1
+        except Exception as exc:  # surfaced to the caller, not lost
+            errors.append(exc)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=run, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    # Count the flush barrier: unapplied work is not throughput.
+    with QuantileClient(*address) as client:
+        client.flush()
+    elapsed = time.perf_counter() - start
+    return elapsed, sum(sent), sum(backoffs)
+
+
+def _query_phase(
+    address: tuple[str, int],
+    names: list[str],
+    queries: int,
+    seed: int,
+) -> dict[str, float]:
+    """Issue quantile queries; summarise latency with a repo sketch."""
+    latency_sketch = paper_config("kll", seed=seed)
+    with QuantileClient(*address) as client:
+        for index in range(queries):
+            metric = names[index % len(names)]
+            q = QUERY_QS[index % len(QUERY_QS)]
+            start = time.perf_counter()
+            client.quantile(metric, q)
+            latency_sketch.update(
+                (time.perf_counter() - start) * 1000.0
+            )
+    values = latency_sketch.quantiles(LATENCY_QS)
+    return {
+        f"p{int(q * 100)}": value
+        for q, value in zip(LATENCY_QS, values)
+    }
+
+
+def _overload_phase(
+    server: QuantileServer,
+    address: tuple[str, int],
+    name: str,
+    attempts: int,
+    seed: int,
+) -> int:
+    """Pause draining, offer *attempts* batches, count explicit sheds."""
+    rng = np.random.default_rng(seed)
+    values = rng.lognormal(mean=4.6, sigma=0.5, size=8).tolist()
+    shed = 0
+    server.pause_ingest()
+    try:
+        with QuantileClient(*address) as client:
+            for _ in range(attempts):
+                try:
+                    client.ingest(name, values)
+                except ServerOverloadedError:
+                    shed += 1
+    finally:
+        server.resume_ingest()
+    server.flush()
+    return shed
+
+
+def run_service_benchmark(
+    sketch: str = "kll",
+    metrics: int = 3,
+    clients: int = 4,
+    events: int | None = None,
+    batch_size: int = 1_000,
+    queue_size: int = 256,
+    queries: int = 200,
+    overload_attempts: int = 512,
+    ingest_workers: int = 2,
+    scale: ExperimentScale | None = None,
+    seed: int = BASE_SEED,
+) -> ServiceBenchmarkResult:
+    """Run the three benchmark phases against an in-process server."""
+    scale = scale or current_scale()
+    events = int(events if events is not None else scale.speed_points)
+    names = _metric_names(metrics)
+    registry = MetricRegistry(
+        sketch_factory=default_sketch_factory(sketch, seed=seed),
+        # Wide fine horizon so retention never interferes with the
+        # seconds-long measurement window.
+        partition_ms=1_000.0,
+        fine_partitions=3_600,
+        hot_metrics=names,
+        n_shards=4,
+    )
+    server = QuantileServer(
+        registry=registry,
+        ingest_queue_size=queue_size,
+        ingest_workers=ingest_workers,
+    )
+    with server:
+        address = server.address
+        elapsed, sent, backoffs = _ingest_phase(
+            address, names, clients, events, batch_size, seed
+        )
+        latency = _query_phase(address, names, queries, seed)
+        shed = _overload_phase(
+            server, address, names[0], overload_attempts, seed
+        )
+        with QuantileClient(*address) as client:
+            stats = client.stats()
+    return ServiceBenchmarkResult(
+        sketch=sketch,
+        metrics=metrics,
+        clients=clients,
+        events=sent,
+        batch_size=batch_size,
+        queue_size=queue_size,
+        ingest_seconds=elapsed,
+        ingest_events_per_sec=sent / elapsed if elapsed > 0 else 0.0,
+        ingest_backoffs=backoffs,
+        queries=queries,
+        query_latency_ms=latency,
+        overload_attempts=overload_attempts,
+        shed_requests=shed,
+        server_stats=stats,
+    )

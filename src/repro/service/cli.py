@@ -1,0 +1,200 @@
+"""Command-line entry point: ``python -m repro.service <command>``.
+
+Two commands:
+
+* ``serve`` — run a quantile server in the foreground until
+  interrupted.  Sketch, store geometry, hot metrics, queue bound and
+  worker count are all flags, so the CLI reaches every knob the
+  subsystem exposes.
+* ``bench`` — run the end-to-end service benchmark (in-process server,
+  concurrent clients, query-latency and forced-overload phases) and
+  optionally write its JSON report for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core.registry import DEFAULT_SEED, SKETCH_CLASSES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description=(
+            "Multi-tenant quantile service over the repo's mergeable "
+            "sketches: time-partitioned stores behind a length-"
+            "prefixed JSON TCP protocol with explicit load shedding."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run a quantile server in the foreground"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7107)
+    serve.add_argument(
+        "--sketch",
+        default="kll",
+        choices=sorted(SKETCH_CLASSES),
+        help="partition sketch (paper parameterisation)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="seed for randomized sketches",
+    )
+    serve.add_argument(
+        "--partition-ms",
+        type=float,
+        default=1_000.0,
+        help="fine partition width",
+    )
+    serve.add_argument(
+        "--fine-partitions",
+        type=int,
+        default=60,
+        help="fine horizon in partitions",
+    )
+    serve.add_argument(
+        "--coarse-factor",
+        type=int,
+        default=8,
+        help="fine partitions per coarse partition",
+    )
+    serve.add_argument(
+        "--coarse-partitions",
+        type=int,
+        default=24,
+        help="coarse horizon in coarse partitions",
+    )
+    serve.add_argument(
+        "--hot",
+        action="append",
+        default=[],
+        metavar="METRIC",
+        help="metric routed through ShardedSketch (repeatable)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count for hot metrics",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=4096,
+        help="bounded ingest queue (shed beyond this)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="ingest drain threads",
+    )
+
+    bench = commands.add_parser(
+        "bench", help="run the end-to-end service benchmark"
+    )
+    bench.add_argument(
+        "--sketch", default="kll", choices=sorted(SKETCH_CLASSES)
+    )
+    bench.add_argument("--metrics", type=int, default=3)
+    bench.add_argument("--clients", type=int, default=4)
+    bench.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        help="total events (default: REPRO_SCALE speed points)",
+    )
+    bench.add_argument("--batch-size", type=int, default=1_000)
+    bench.add_argument("--queue-size", type=int, default=256)
+    bench.add_argument("--queries", type=int, default=200)
+    bench.add_argument("--overload-attempts", type=int, default=512)
+    bench.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON report here",
+    )
+    return parser
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    # Imported lazily so `--help` stays instant.
+    from repro.service.registry import (
+        MetricRegistry,
+        default_sketch_factory,
+    )
+    from repro.service.server import QuantileServer
+
+    registry = MetricRegistry(
+        sketch_factory=default_sketch_factory(args.sketch, seed=args.seed),
+        partition_ms=args.partition_ms,
+        fine_partitions=args.fine_partitions,
+        coarse_factor=args.coarse_factor,
+        coarse_partitions=args.coarse_partitions,
+        hot_metrics=args.hot,
+        n_shards=args.shards,
+    )
+    server = QuantileServer(
+        registry=registry,
+        host=args.host,
+        port=args.port,
+        ingest_queue_size=args.queue_size,
+        ingest_workers=args.workers,
+    )
+    with server:
+        host, port = server.address
+        print(
+            f"[repro-service] serving {args.sketch} partitions on "
+            f"{host}:{port} (queue={args.queue_size}, "
+            f"workers={args.workers}); Ctrl-C to stop"
+        )
+        try:
+            while True:
+                # Idle heartbeat between flush barriers.
+                server.flush()
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            print("[repro-service] shutting down")
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.export import write_json
+    from repro.experiments.service_bench import run_service_benchmark
+
+    result = run_service_benchmark(
+        sketch=args.sketch,
+        metrics=args.metrics,
+        clients=args.clients,
+        events=args.events,
+        batch_size=args.batch_size,
+        queue_size=args.queue_size,
+        queries=args.queries,
+        overload_attempts=args.overload_attempts,
+    )
+    print(result.to_table())
+    if args.output:
+        path = write_json(result, Path(args.output))
+        print(f"\n[repro-service] wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _run_serve(args)
+    return _run_bench(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,257 @@
+"""Blocking TCP client for the quantile service.
+
+:class:`QuantileClient` speaks the length-prefixed JSON protocol with a
+small, explicit reliability model:
+
+* *transport* failures (connection refused, reset, mid-frame EOF) are
+  retried with exponential backoff up to ``retries`` attempts, after
+  which :class:`~repro.errors.ServiceUnavailableError` is raised;
+* *application* failures come back as error responses and raise
+  immediately — in particular an ``overloaded`` response raises
+  :class:`~repro.errors.ServerOverloadedError` rather than retrying,
+  because retrying into a shedding server is how overloads become
+  outages.  Callers own their backpressure policy.
+
+The backoff sleeper is injectable so tests (and the benchmark's
+overload phase) never wait on real time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import time
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import (
+    ProtocolError,
+    ServerOverloadedError,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from repro.service import protocol
+
+
+class QuantileClient:
+    """Client for one :class:`~repro.service.server.QuantileServer`.
+
+    Parameters
+    ----------
+    host / port:
+        Server address.
+    timeout:
+        Socket timeout (seconds) for connect and each response.
+    retries:
+        Transport-failure retry budget per request (total attempts are
+        ``retries + 1``).
+    backoff_ms:
+        Base backoff; attempt *i* sleeps ``backoff_ms * 2**i``.
+    sleep:
+        Injectable sleeper (seconds), defaulting to :func:`time.sleep`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        retries: int = 3,
+        backoff_ms: float = 50.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._address = (host, int(port))
+        self._timeout = float(timeout)
+        self._retries = int(retries)
+        self._backoff_ms = float(backoff_ms)
+        self._sleep = sleep
+        self._sock: socket.socket | None = None
+        self._rfile: Any = None
+        self._wfile: Any = None
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "QuantileClient":
+        if self._sock is None:
+            sock = socket.create_connection(
+                self._address, timeout=self._timeout
+            )
+            self._sock = sock
+            self._rfile = sock.makefile("rb")
+            self._wfile = sock.makefile("wb")
+        return self
+
+    def close(self) -> None:
+        for stream in (self._rfile, self._wfile, self._sock):
+            if stream is not None:
+                # Best-effort teardown: the peer may already be gone.
+                with contextlib.suppress(OSError):
+                    stream.close()
+        self._sock = None
+        self._rfile = None
+        self._wfile = None
+
+    def __enter__(self) -> "QuantileClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request/response core
+    # ------------------------------------------------------------------
+
+    def call(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Send one request, return the parsed *successful* response.
+
+        Transport failures retry with backoff; error responses raise
+        (:class:`~repro.errors.ServerOverloadedError` for shedding,
+        :class:`~repro.errors.ServiceError` otherwise).
+        """
+        last_error: Exception | None = None
+        for attempt in range(self._retries + 1):
+            if attempt:
+                self._sleep(
+                    self._backoff_ms * (2 ** (attempt - 1)) / 1000.0
+                )
+            try:
+                self.connect()
+                protocol.write_frame(self._wfile, request)
+                response = protocol.read_frame(self._rfile)
+            except (OSError, ProtocolError) as exc:
+                last_error = exc
+                self.close()
+                continue
+            if response is None:
+                last_error = ProtocolError(
+                    "server closed the connection before responding"
+                )
+                self.close()
+                continue
+            return self._check(response)
+        raise ServiceUnavailableError(
+            f"request failed after {self._retries + 1} attempts: "
+            f"{last_error}"
+        )
+
+    def _check(self, response: dict[str, Any]) -> dict[str, Any]:
+        if response.get("ok"):
+            return response
+        code = response.get("error", "unknown")
+        message = str(response.get("message", ""))
+        if code == protocol.OVERLOADED:
+            raise ServerOverloadedError(message)
+        raise ServiceError(f"{code}: {message}")
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.call({"op": "ping"})["pong"])
+
+    def ingest(
+        self,
+        metric: str,
+        values: Iterable[float],
+        timestamp_ms: float | None = None,
+        tags: Mapping[str, str] | None = None,
+    ) -> int:
+        """Enqueue a batch server-side; returns the accepted count."""
+        request: dict[str, Any] = {
+            "op": "ingest",
+            "metric": metric,
+            "values": [float(value) for value in values],
+        }
+        if timestamp_ms is not None:
+            request["timestamp_ms"] = float(timestamp_ms)
+        if tags is not None:
+            request["tags"] = dict(tags)
+        return int(self.call(request)["accepted"])
+
+    def flush(self) -> None:
+        """Barrier: returns once all enqueued ingests are applied."""
+        self.call({"op": "flush"})
+
+    def quantile(
+        self,
+        metric: str,
+        q: float,
+        t0: float | None = None,
+        t1: float | None = None,
+        tags: Mapping[str, str] | None = None,
+    ) -> float:
+        request = self._query("quantile", metric, t0, t1, tags)
+        request["q"] = float(q)
+        return float(self.call(request)["quantile"])
+
+    def quantiles(
+        self,
+        metric: str,
+        qs: Iterable[float],
+        t0: float | None = None,
+        t1: float | None = None,
+        tags: Mapping[str, str] | None = None,
+    ) -> list[float]:
+        request = self._query("quantile", metric, t0, t1, tags)
+        request["q"] = [float(q) for q in qs]
+        return [float(v) for v in self.call(request)["quantiles"]]
+
+    def rank(
+        self,
+        metric: str,
+        value: float,
+        t0: float | None = None,
+        t1: float | None = None,
+        tags: Mapping[str, str] | None = None,
+    ) -> int:
+        request = self._query("rank", metric, t0, t1, tags)
+        request["value"] = float(value)
+        return int(self.call(request)["rank"])
+
+    def cdf(
+        self,
+        metric: str,
+        value: float,
+        t0: float | None = None,
+        t1: float | None = None,
+        tags: Mapping[str, str] | None = None,
+    ) -> float:
+        request = self._query("cdf", metric, t0, t1, tags)
+        request["value"] = float(value)
+        return float(self.call(request)["cdf"])
+
+    def count(
+        self,
+        metric: str,
+        t0: float | None = None,
+        t1: float | None = None,
+        tags: Mapping[str, str] | None = None,
+    ) -> int:
+        return int(
+            self.call(self._query("count", metric, t0, t1, tags))["count"]
+        )
+
+    def metrics(self) -> list[dict[str, Any]]:
+        return list(self.call({"op": "metrics"})["metrics"])
+
+    def stats(self) -> dict[str, int]:
+        return dict(self.call({"op": "stats"})["stats"])
+
+    def _query(
+        self,
+        op: str,
+        metric: str,
+        t0: float | None,
+        t1: float | None,
+        tags: Mapping[str, str] | None,
+    ) -> dict[str, Any]:
+        request: dict[str, Any] = {"op": op, "metric": metric}
+        if t0 is not None:
+            request["t0"] = float(t0)
+        if t1 is not None:
+            request["t1"] = float(t1)
+        if tags is not None:
+            request["tags"] = dict(tags)
+        return request

@@ -1,0 +1,68 @@
+"""Injectable clocks for the quantile service.
+
+Every time read in the service's logic paths — bucketing an ingested
+value, deciding which partitions have expired, timestamping a request
+that arrived without one — flows through a :class:`Clock` instance
+handed in at construction.  Production wires a :class:`SystemClock`;
+tests and the determinism harness wire a :class:`ManualClock` they
+advance explicitly, so two runs over the same input stream make
+byte-identical decisions (the end-to-end property
+``tests/service/test_determinism.py`` pins).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from repro.errors import InvalidValueError
+
+
+class Clock(abc.ABC):
+    """Source of the service's notion of "now", in epoch milliseconds."""
+
+    @abc.abstractmethod
+    def now_ms(self) -> float:
+        """Current time in milliseconds."""
+
+
+class SystemClock(Clock):
+    """Wall clock, for production serving."""
+
+    def now_ms(self) -> float:
+        return time.time() * 1000.0
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to.
+
+    Deterministic tests construct one at a fixed origin and advance it
+    alongside the event stream; nothing in the service reads the wall
+    clock behind its back.
+    """
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now_ms = float(start_ms)
+
+    def now_ms(self) -> float:
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Move time forward by *delta_ms* and return the new time."""
+        if delta_ms < 0:
+            raise InvalidValueError(
+                f"cannot advance a clock backwards, got {delta_ms!r}"
+            )
+        self._now_ms += float(delta_ms)
+        return self._now_ms
+
+    def set_time(self, now_ms: float) -> float:
+        """Jump to an absolute time (monotonicity enforced)."""
+        now_ms = float(now_ms)
+        if now_ms < self._now_ms:
+            raise InvalidValueError(
+                f"cannot move a clock backwards: {now_ms!r} < "
+                f"{self._now_ms!r}"
+            )
+        self._now_ms = now_ms
+        return self._now_ms

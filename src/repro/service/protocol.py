@@ -1,0 +1,134 @@
+"""Length-prefixed JSON wire protocol for the quantile service.
+
+Frames are ``u32 big-endian length | UTF-8 JSON body``.  JSON keeps the
+protocol inspectable (``nc`` + a hex dump is a working debugger) while
+the length prefix gives exact message boundaries over TCP.  Bodies are
+encoded *canonically* — sorted keys, no whitespace — so a response is a
+deterministic function of its payload; the end-to-end determinism test
+relies on two identical server runs emitting byte-identical frames.
+
+Requests are objects with an ``"op"`` field; responses always carry
+``"ok"``.  Failures are data, not connection state: the server answers
+``{"ok": false, "error": <code>, "message": ...}`` and keeps the
+connection open, with ``"overloaded"`` as the explicit load-shedding
+code (``"shed": true``) a client must not blindly retry.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, BinaryIO
+
+from repro.errors import ProtocolError
+
+#: Hard ceiling on one frame's body, protecting both sides from a
+#: corrupt or hostile length prefix.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: Error code the server uses when shedding ingest load.
+OVERLOADED = "overloaded"
+
+
+def encode_message(payload: dict[str, Any]) -> bytes:
+    """Canonical JSON bytes for *payload* (sorted keys, no whitespace)."""
+    try:
+        body = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"),
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"payload is not JSON-encodable: {exc}") from exc
+    return body.encode("utf-8")
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Length-prefixed frame for *payload*."""
+    body = encode_message(payload)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_message(body: bytes) -> dict[str, Any]:
+    """Parse one frame body back into a message object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+def write_frame(stream: BinaryIO, payload: dict[str, Any]) -> None:
+    """Write one frame to a binary stream and flush it."""
+    stream.write(encode_frame(payload))
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    header = _read_exact(stream, _LENGTH.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    body = _read_exact(stream, length, allow_eof=False)
+    assert body is not None  # allow_eof=False never returns None
+    return decode_message(body)
+
+
+def _read_exact(
+    stream: BinaryIO, n: int, allow_eof: bool
+) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if allow_eof and remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining} of "
+                f"{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Response constructors (shared by server and tests)
+# ----------------------------------------------------------------------
+
+
+def ok(**fields: Any) -> dict[str, Any]:
+    response: dict[str, Any] = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error(code: str, message: str, **fields: Any) -> dict[str, Any]:
+    response: dict[str, Any] = {
+        "ok": False, "error": code, "message": message,
+    }
+    response.update(fields)
+    return response
+
+
+def shed(message: str) -> dict[str, Any]:
+    """The load-shedding response: explicit, machine-detectable."""
+    return error(OVERLOADED, message, shed=True)

@@ -1,0 +1,416 @@
+"""Threaded TCP front end for the quantile service.
+
+:class:`QuantileServer` exposes a :class:`~repro.service.registry.MetricRegistry`
+over the length-prefixed JSON protocol of :mod:`repro.service.protocol`,
+using :class:`socketserver.ThreadingTCPServer` (one thread per
+connection, the same shape as the paper's Flink task slots serving
+operator queries).
+
+Backpressure model
+------------------
+Queries are answered synchronously from the registry's merged-view
+caches.  Ingest is decoupled: the handler validates the request,
+enqueues it on a *bounded* queue and acks immediately; dedicated worker
+threads drain the queue into the registry.  When the queue is full the
+server does not block the socket and does not buffer unboundedly — it
+*sheds* the request with an explicit ``overloaded`` response and counts
+it, so clients see backpressure as data instead of latency.  The
+``flush`` op barriers on the queue draining, which is what makes an
+ingest-then-query sequence deterministic for the test harness.
+
+``pause_ingest()`` / ``resume_ingest()`` hold the drain workers at a
+gate; the overload benchmark and tests use them to force the queue-full
+regime deterministically.
+"""
+
+from __future__ import annotations
+
+import queue
+import socketserver
+import threading
+from typing import Any, Callable, Mapping
+
+from repro.errors import (
+    EmptySketchError,
+    InvalidQuantileError,
+    InvalidValueError,
+    ProtocolError,
+    ReproError,
+)
+from repro.service import protocol
+from repro.service.clock import Clock, SystemClock
+from repro.service.registry import MetricRegistry
+
+
+class ServerStats:
+    """Thread-safe request counters, reported by the ``stats`` op."""
+
+    _FIELDS = (
+        "requests",
+        "ingest_requests",
+        "ingested_values",
+        "shed_requests",
+        "query_requests",
+        "error_responses",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {field: 0 for field in self._FIELDS}
+
+    def incr(self, field: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[field] += n
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Backlink injected by :class:`QuantileServer`.
+    service: "QuantileServer"
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One connection: a loop of request frame -> response frame."""
+
+    def handle(self) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        while True:
+            try:
+                request = protocol.read_frame(self.rfile)
+            except ProtocolError as exc:
+                # The stream is no longer frame-aligned; answer once
+                # and drop the connection.
+                self._reply(
+                    protocol.error("protocol", str(exc))
+                )
+                return
+            if request is None:
+                return
+            if not self._reply(service.dispatch(request)):
+                return
+
+    def _reply(self, response: dict[str, Any]) -> bool:
+        try:
+            protocol.write_frame(self.wfile, response)
+        except (OSError, ProtocolError):
+            return False  # peer went away; nothing left to say
+        return True
+
+
+class QuantileServer:
+    """TCP quantile service over a metric registry.
+
+    Parameters
+    ----------
+    registry:
+        The serving registry; built fresh (with *clock*) when omitted.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port, readable from
+        :attr:`address` after :meth:`start`.
+    ingest_queue_size:
+        Bound of the ingest queue — the knob that trades buffering for
+        shedding under overload.
+    ingest_workers:
+        Threads draining the ingest queue into the registry.
+    clock:
+        Time source for a default-constructed registry.
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ingest_queue_size: int = 4096,
+        ingest_workers: int = 1,
+        clock: Clock | None = None,
+    ) -> None:
+        if ingest_queue_size < 1:
+            raise InvalidValueError(
+                f"ingest_queue_size must be >= 1, got "
+                f"{ingest_queue_size!r}"
+            )
+        if ingest_workers < 1:
+            raise InvalidValueError(
+                f"ingest_workers must be >= 1, got {ingest_workers!r}"
+            )
+        clock = clock if clock is not None else SystemClock()
+        self.registry = (
+            registry if registry is not None else MetricRegistry(clock=clock)
+        )
+        self.stats = ServerStats()
+        self._host = host
+        self._port = port
+        self._queue: "queue.Queue[tuple[str, dict[str, str] | None, list[float], float | None] | None]" = queue.Queue(
+            maxsize=ingest_queue_size
+        )
+        self._ingest_workers = ingest_workers
+        self._drain_gate = threading.Event()
+        self._drain_gate.set()
+        self._server: _TCPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._workers: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "QuantileServer":
+        """Bind, start the accept loop and the drain workers."""
+        if self._server is not None:
+            raise InvalidValueError("server already started")
+        server = _TCPServer((self._host, self._port), _RequestHandler)
+        server.service = self
+        self._server = server
+        self._serve_thread = threading.Thread(
+            target=server.serve_forever,
+            name="quantile-server-accept",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        for index in range(self._ingest_workers):
+            worker = threading.Thread(
+                target=self._drain,
+                name=f"quantile-server-ingest-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, drain shutdown sentinels, join all threads."""
+        server = self._server
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        self.resume_ingest()
+        for _ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers = []
+        self._server = None
+        self._serve_thread = None
+
+    def __enter__(self) -> "QuantileServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Actual (host, port) after binding."""
+        if self._server is None:
+            raise InvalidValueError("server not started")
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    # ------------------------------------------------------------------
+    # Ingest pipeline
+    # ------------------------------------------------------------------
+
+    def pause_ingest(self) -> None:
+        """Hold drain workers at the gate (overload simulation)."""
+        self._drain_gate.clear()
+
+    def resume_ingest(self) -> None:
+        self._drain_gate.set()
+
+    def flush(self) -> None:
+        """Block until every enqueued ingest has been applied."""
+        self._queue.join()
+
+    def queue_depth(self) -> int:
+        """Approximate number of pending ingest batches."""
+        return self._queue.qsize()
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is None:
+                    return
+                self._drain_gate.wait()
+                name, tags, values, timestamp_ms = item
+                try:
+                    accepted = self.registry.record(
+                        name, values, timestamp_ms, tags
+                    )
+                    self.stats.incr("ingested_values", accepted)
+                except ReproError:
+                    # A poisoned batch must not kill the drain thread;
+                    # the failure is visible in the error counter.
+                    self.stats.incr("error_responses")
+            finally:
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Map one request object to its response object."""
+        self.stats.incr("requests")
+        op = request.get("op")
+        handler = self._OPS.get(op) if isinstance(op, str) else None
+        if handler is None:
+            self.stats.incr("error_responses")
+            return protocol.error(
+                "unknown_op",
+                f"unknown op {op!r}; expected one of "
+                f"{sorted(self._OPS)}",
+            )
+        try:
+            return handler(self, request)
+        except EmptySketchError as exc:
+            self.stats.incr("error_responses")
+            return protocol.error("empty", str(exc))
+        except InvalidQuantileError as exc:
+            self.stats.incr("error_responses")
+            return protocol.error("invalid_quantile", str(exc))
+        except (InvalidValueError, ProtocolError) as exc:
+            self.stats.incr("error_responses")
+            return protocol.error("bad_request", str(exc))
+        except (KeyError, TypeError, ValueError) as exc:
+            self.stats.incr("error_responses")
+            return protocol.error(
+                "bad_request", f"{type(exc).__name__}: {exc}"
+            )
+
+    # -- op implementations --------------------------------------------
+
+    def _op_ping(self, request: dict[str, Any]) -> dict[str, Any]:
+        return protocol.ok(pong=True)
+
+    def _op_ingest(self, request: dict[str, Any]) -> dict[str, Any]:
+        name = _require_metric(request)
+        tags = _optional_tags(request)
+        raw_values = request.get("values")
+        if not isinstance(raw_values, list) or not raw_values:
+            raise InvalidValueError(
+                "ingest needs a non-empty 'values' list"
+            )
+        values = [float(value) for value in raw_values]
+        timestamp_ms = request.get("timestamp_ms")
+        if timestamp_ms is not None:
+            timestamp_ms = float(timestamp_ms)
+        self.stats.incr("ingest_requests")
+        try:
+            self._queue.put_nowait((name, tags, values, timestamp_ms))
+        except queue.Full:
+            self.stats.incr("shed_requests")
+            return protocol.shed(
+                f"ingest queue full ({self._queue.maxsize} batches); "
+                f"request shed"
+            )
+        return protocol.ok(accepted=len(values))
+
+    def _op_flush(self, request: dict[str, Any]) -> dict[str, Any]:
+        self.flush()
+        return protocol.ok(flushed=True)
+
+    def _op_quantile(self, request: dict[str, Any]) -> dict[str, Any]:
+        store, t0, t1 = self._query_target(request)
+        q = request.get("q")
+        if isinstance(q, list):
+            qs = [float(item) for item in q]
+            return protocol.ok(quantiles=store.quantiles(qs, t0, t1))
+        if q is None:
+            raise InvalidValueError(
+                "quantile needs 'q': a number or a list of numbers"
+            )
+        return protocol.ok(quantile=store.quantile(float(q), t0, t1))
+
+    def _op_rank(self, request: dict[str, Any]) -> dict[str, Any]:
+        store, t0, t1 = self._query_target(request)
+        value = _require_number(request, "value")
+        return protocol.ok(rank=store.rank(value, t0, t1))
+
+    def _op_cdf(self, request: dict[str, Any]) -> dict[str, Any]:
+        store, t0, t1 = self._query_target(request)
+        value = _require_number(request, "value")
+        return protocol.ok(cdf=store.cdf(value, t0, t1))
+
+    def _op_count(self, request: dict[str, Any]) -> dict[str, Any]:
+        store, t0, t1 = self._query_target(request)
+        return protocol.ok(count=store.count(t0, t1))
+
+    def _op_metrics(self, request: dict[str, Any]) -> dict[str, Any]:
+        listing = [
+            {"name": key.name, "tags": key.as_dict()}
+            for key in self.registry.keys()
+        ]
+        return protocol.ok(metrics=listing)
+
+    def _op_stats(self, request: dict[str, Any]) -> dict[str, Any]:
+        combined: dict[str, int] = dict(self.registry.stats())
+        combined.update(self.stats.snapshot())
+        return protocol.ok(stats=combined)
+
+    def _query_target(
+        self, request: dict[str, Any]
+    ) -> tuple[Any, float | None, float | None]:
+        name = _require_metric(request)
+        tags = _optional_tags(request)
+        self.stats.incr("query_requests")
+        store = self.registry.get(name, tags)
+        if store is None:
+            raise InvalidValueError(
+                f"unknown metric {name!r} (no values ingested)"
+            )
+        t0 = request.get("t0")
+        t1 = request.get("t1")
+        return (
+            store,
+            None if t0 is None else float(t0),
+            None if t1 is None else float(t1),
+        )
+
+    _OPS: dict[str, Callable[["QuantileServer", dict[str, Any]], dict[str, Any]]] = {
+        "ping": _op_ping,
+        "ingest": _op_ingest,
+        "flush": _op_flush,
+        "quantile": _op_quantile,
+        "rank": _op_rank,
+        "cdf": _op_cdf,
+        "count": _op_count,
+        "metrics": _op_metrics,
+        "stats": _op_stats,
+    }
+
+
+def _require_metric(request: Mapping[str, Any]) -> str:
+    name = request.get("metric")
+    if not isinstance(name, str) or not name:
+        raise InvalidValueError(
+            "request needs a non-empty string 'metric'"
+        )
+    return name
+
+
+def _optional_tags(request: Mapping[str, Any]) -> dict[str, str] | None:
+    tags = request.get("tags")
+    if tags is None:
+        return None
+    if not isinstance(tags, dict):
+        raise InvalidValueError("'tags' must be an object of strings")
+    return {str(key): str(value) for key, value in tags.items()}
+
+
+def _require_number(request: Mapping[str, Any], field: str) -> float:
+    value = request.get(field)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise InvalidValueError(
+            f"request needs a numeric {field!r} field"
+        )
+    return float(value)

@@ -1,0 +1,583 @@
+"""Time-partitioned sketch store: one metric's stream, queryable by range.
+
+:class:`TimePartitionedStore` is the storage half of the quantile
+service.  It buckets an event-time stream into fixed-width *fine*
+partitions of mergeable sketches, answers quantile/rank/cdf queries
+over arbitrary ``[t0, t1)`` ranges by merging the covered partitions
+(exactly the mergeability application of Sec 2.4, pointed at time), and
+enforces retention with a two-tier scheme: fine partitions that age out
+of the fine horizon are compacted — merged — into *coarse* partitions
+``coarse_factor`` times wider, which are in turn dropped once they age
+out of the coarse horizon.  Old data loses time resolution before it
+loses existence, the standard monitoring-store trade.
+
+Range queries are quantised to partition edges (a partition overlapping
+the range contributes wholly), mirroring
+:class:`~repro.streaming.windowed_sketch.SlidingWindowSketch` panes.
+The merged view is cached under a ``(version, range)`` key — the same
+cache-invalidation rule as :class:`~repro.parallel.ShardedSketch` — so
+repeated queries of an unchanged store never re-merge.
+
+All time reads flow through the injected :class:`~repro.service.clock.Clock`;
+nothing here touches the wall clock directly, which is what makes two
+runs over the same stream byte-identical under test.
+
+Snapshots (:meth:`snapshot` / :meth:`restore`) serialise every
+partition through :mod:`repro.core.serialization`, so a store survives
+a process restart with its exact sketch state, including the per-shard
+state of :class:`~repro.parallel.ShardedSketch` partitions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+import threading
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.base import QuantileSketch
+from repro.core.serialization import dumps, loads
+from repro.errors import (
+    EmptySketchError,
+    InvalidValueError,
+    SerializationError,
+)
+from repro.parallel.sharded import ShardedSketch
+from repro.service.clock import Clock, SystemClock
+
+SNAPSHOT_MAGIC = b"RPQS"
+SNAPSHOT_VERSION = 1
+
+_PARTITIONER_CODES = {"round_robin": 0, "hash": 1}
+_PARTITIONER_NAMES = {code: name for name, code in _PARTITIONER_CODES.items()}
+
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+
+
+class TimePartitionedStore:
+    """Range-queryable quantile store over one metric's event stream.
+
+    Parameters
+    ----------
+    sketch_factory:
+        Zero-argument callable building one empty partition sketch.  A
+        factory returning :class:`~repro.parallel.ShardedSketch` turns
+        every partition into a lock-striped concurrent ingest point
+        (the registry's hot-metric route); plain sketches are guarded
+        by the store lock instead.
+    clock:
+        Time source for retention decisions and default timestamps;
+        defaults to :class:`~repro.service.clock.SystemClock`.
+    partition_ms:
+        Width of one fine partition.
+    fine_partitions:
+        Fine horizon, in partitions: how long data keeps full time
+        resolution before compaction.
+    coarse_factor:
+        How many fine partitions one coarse partition spans.
+    coarse_partitions:
+        Coarse horizon, in coarse partitions; data older than this is
+        dropped entirely.
+    """
+
+    def __init__(
+        self,
+        sketch_factory: Callable[[], QuantileSketch],
+        clock: Clock | None = None,
+        partition_ms: float = 1_000.0,
+        fine_partitions: int = 60,
+        coarse_factor: int = 8,
+        coarse_partitions: int = 24,
+    ) -> None:
+        if partition_ms <= 0:
+            raise InvalidValueError(
+                f"partition_ms must be positive, got {partition_ms!r}"
+            )
+        if fine_partitions < 1 or coarse_partitions < 1:
+            raise InvalidValueError(
+                "fine_partitions and coarse_partitions must be >= 1"
+            )
+        if coarse_factor < 1:
+            raise InvalidValueError(
+                f"coarse_factor must be >= 1, got {coarse_factor!r}"
+            )
+        self._factory = sketch_factory
+        self._clock = clock if clock is not None else SystemClock()
+        self.partition_ms = float(partition_ms)
+        self.fine_partitions = int(fine_partitions)
+        self.coarse_factor = int(coarse_factor)
+        self.coarse_partitions = int(coarse_partitions)
+        self.coarse_ms = self.partition_ms * self.coarse_factor
+        self.fine_horizon_ms = self.partition_ms * self.fine_partitions
+        self.coarse_horizon_ms = self.coarse_ms * self.coarse_partitions
+        # The merged view is always a plain sketch: when partitions are
+        # sharded, views merge their (internally locked) merged views,
+        # so one plain inner sketch is the right container.
+        probe = sketch_factory()
+        if isinstance(probe, ShardedSketch):
+            self._view_factory: Callable[[], QuantileSketch] = (
+                probe._factory
+            )
+        else:
+            self._view_factory = sketch_factory
+        self._fine: dict[int, QuantileSketch] = {}
+        self._coarse: dict[int, QuantileSketch] = {}
+        self._lock = threading.RLock()
+        self._version = 0
+        self._cached_key: tuple[int, float, float] | None = None
+        self._cached_view: QuantileSketch | None = None
+        self._events_recorded = 0
+        self._dropped_late = 0
+        self._events_expired = 0
+        self._compact_marker: int | None = None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def record(self, value: float, timestamp_ms: float | None = None) -> int:
+        """Record one value; returns 1 if accepted, 0 if dropped late."""
+        return self.record_batch(
+            np.asarray([value], dtype=np.float64), timestamp_ms
+        )
+
+    def record_batch(
+        self,
+        values: Iterable[float] | np.ndarray,
+        timestamp_ms: float | None = None,
+    ) -> int:
+        """Record a batch sharing one event timestamp.
+
+        Values whose timestamp has already aged out of the fine horizon
+        are dropped (and counted in :attr:`dropped_late`): the query
+        path could no longer attribute them to a fine range, matching
+        the sliding-window semantics of :mod:`repro.streaming`.
+
+        Returns the number of values accepted.
+        """
+        array = np.asarray(values, dtype=np.float64).ravel()
+        if array.size == 0:
+            return 0
+        with self._lock:
+            now = self._clock.now_ms()
+            ts = now if timestamp_ms is None else float(timestamp_ms)
+            self._maybe_compact(now)
+            if ts < now - self.fine_horizon_ms:
+                self._dropped_late += int(array.size)
+                return 0
+            bucket_id = int(math.floor(ts / self.partition_ms))
+            bucket = self._fine.get(bucket_id)
+            if bucket is None:
+                bucket = self._factory()
+                self._fine[bucket_id] = bucket
+            self._events_recorded += int(array.size)
+            self._version += 1
+            if not isinstance(bucket, ShardedSketch):
+                # Plain sketches are not thread-safe; keep the store
+                # lock across the update.
+                bucket.update_batch(array)
+                return int(array.size)
+        # Sharded partitions take their own per-shard locks, so the
+        # update proceeds outside the store lock — this is the
+        # lock-striped hot path.
+        bucket.update_batch(array)
+        return int(array.size)
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Enforce retention now (also triggered lazily by ingestion)."""
+        with self._lock:
+            self._compact_locked(self._clock.now_ms())
+
+    def _maybe_compact(self, now: float) -> None:
+        marker = int(math.floor(now / self.partition_ms))
+        if marker != self._compact_marker:
+            self._compact_marker = marker
+            self._compact_locked(now)
+
+    def _compact_locked(self, now: float) -> None:
+        changed = False
+        fine_keep = int(
+            math.floor((now - self.fine_horizon_ms) / self.partition_ms)
+        )
+        for bucket_id in sorted(self._fine):
+            if bucket_id >= fine_keep:
+                break
+            sketch = self._fine.pop(bucket_id)
+            if isinstance(sketch, ShardedSketch):
+                sketch = sketch._merged_view()
+            if not sketch.is_empty:
+                coarse_id = bucket_id // self.coarse_factor
+                target = self._coarse.get(coarse_id)
+                if target is None:
+                    target = self._view_factory()
+                    self._coarse[coarse_id] = target
+                target.merge(sketch)
+            changed = True
+        coarse_keep = int(
+            math.floor((now - self.coarse_horizon_ms) / self.coarse_ms)
+        )
+        for coarse_id in sorted(self._coarse):
+            if coarse_id >= coarse_keep:
+                break
+            expired = self._coarse.pop(coarse_id)
+            self._events_expired += expired.count
+            changed = True
+        if changed:
+            self._version += 1
+
+    # ------------------------------------------------------------------
+    # Range queries
+    # ------------------------------------------------------------------
+
+    def _resolve_range(
+        self, t0: float | None, t1: float | None
+    ) -> tuple[float, float]:
+        lo = -math.inf if t0 is None else float(t0)
+        hi = math.inf if t1 is None else float(t1)
+        if not lo < hi:
+            raise InvalidValueError(
+                f"need t0 < t1 for a [t0, t1) range query, got "
+                f"[{lo!r}, {hi!r})"
+            )
+        return lo, hi
+
+    def _covered(
+        self,
+        buckets: dict[int, QuantileSketch],
+        width_ms: float,
+        lo: float,
+        hi: float,
+    ) -> Iterator[QuantileSketch]:
+        for bucket_id in sorted(buckets):
+            start = bucket_id * width_ms
+            if start + width_ms > lo and start < hi:
+                yield buckets[bucket_id]
+
+    def merged(
+        self, t0: float | None = None, t1: float | None = None
+    ) -> QuantileSketch:
+        """Merged sketch over partitions intersecting ``[t0, t1)``.
+
+        The view is cached under the store version and the quantised
+        range, so repeated queries of an unchanged store return the
+        same object without re-merging.  Raises
+        :class:`~repro.errors.EmptySketchError` when no retained data
+        falls in the range.
+        """
+        lo, hi = self._resolve_range(t0, t1)
+        lo_q = (
+            -math.inf if math.isinf(lo)
+            else math.floor(lo / self.partition_ms)
+        )
+        hi_q = (
+            math.inf if math.isinf(hi)
+            else math.ceil(hi / self.partition_ms)
+        )
+        with self._lock:
+            key = (self._version, float(lo_q), float(hi_q))
+            if self._cached_view is not None and self._cached_key == key:
+                return self._cached_view
+            view = self._view_factory()
+            sources = list(
+                self._covered(self._coarse, self.coarse_ms, lo, hi)
+            ) + list(
+                self._covered(self._fine, self.partition_ms, lo, hi)
+            )
+            for source in sources:
+                if isinstance(source, ShardedSketch):
+                    # Read through the shard locks for a consistent
+                    # snapshot while concurrent writers make progress.
+                    source = source._merged_view()
+                if not source.is_empty:
+                    view.merge(source)
+            if view.is_empty:
+                raise EmptySketchError(
+                    f"no events in range [{lo!r}, {hi!r})"
+                )
+            self._cached_view = view
+            self._cached_key = key
+            return view
+
+    def quantile(
+        self,
+        q: float,
+        t0: float | None = None,
+        t1: float | None = None,
+    ) -> float:
+        return self.merged(t0, t1).quantile(q)
+
+    def quantiles(
+        self,
+        qs: Iterable[float],
+        t0: float | None = None,
+        t1: float | None = None,
+    ) -> list[float]:
+        return self.merged(t0, t1).quantiles(qs)
+
+    def rank(
+        self,
+        value: float,
+        t0: float | None = None,
+        t1: float | None = None,
+    ) -> int:
+        return self.merged(t0, t1).rank(value)
+
+    def cdf(
+        self,
+        value: float,
+        t0: float | None = None,
+        t1: float | None = None,
+    ) -> float:
+        return self.merged(t0, t1).cdf(value)
+
+    def count(
+        self, t0: float | None = None, t1: float | None = None
+    ) -> int:
+        """Events retained in partitions intersecting ``[t0, t1)``."""
+        lo, hi = self._resolve_range(t0, t1)
+        with self._lock:
+            return sum(
+                sketch.count
+                for sketch in self._covered(
+                    self._coarse, self.coarse_ms, lo, hi
+                )
+            ) + sum(
+                sketch.count
+                for sketch in self._covered(
+                    self._fine, self.partition_ms, lo, hi
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def events_recorded(self) -> int:
+        """Monotone count of accepted values (never decremented)."""
+        return self._events_recorded
+
+    @property
+    def dropped_late(self) -> int:
+        """Values rejected for arriving past the fine horizon."""
+        return self._dropped_late
+
+    @property
+    def events_expired(self) -> int:
+        """Values dropped with their expired coarse partition."""
+        return self._events_expired
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def num_fine_partitions(self) -> int:
+        with self._lock:
+            return len(self._fine)
+
+    @property
+    def num_coarse_partitions(self) -> int:
+        with self._lock:
+            return len(self._coarse)
+
+    def size_bytes(self) -> int:
+        """Summed footprint of every retained partition sketch."""
+        with self._lock:
+            return sum(
+                sketch.size_bytes() for sketch in self._fine.values()
+            ) + sum(
+                sketch.size_bytes() for sketch in self._coarse.values()
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TimePartitionedStore fine={len(self._fine)} "
+            f"coarse={len(self._coarse)} "
+            f"recorded={self._events_recorded}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialise config, counters and every partition to bytes.
+
+        Partitions are written in sorted id order and each sketch goes
+        through :mod:`repro.core.serialization`, so a snapshot of an
+        unchanged store is byte-identical across runs.
+        """
+        with self._lock:
+            header = json.dumps(
+                {
+                    "partition_ms": self.partition_ms,
+                    "fine_partitions": self.fine_partitions,
+                    "coarse_factor": self.coarse_factor,
+                    "coarse_partitions": self.coarse_partitions,
+                    "events_recorded": self._events_recorded,
+                    "dropped_late": self._dropped_late,
+                    "events_expired": self._events_expired,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            ).encode("utf-8")
+            parts = [
+                SNAPSHOT_MAGIC,
+                _U8.pack(SNAPSHOT_VERSION),
+                _U32.pack(len(header)),
+                header,
+            ]
+            for tier in (self._fine, self._coarse):
+                parts.append(_U32.pack(len(tier)))
+                for bucket_id in sorted(tier):
+                    parts.append(_I64.pack(bucket_id))
+                    parts.append(_freeze(tier[bucket_id]))
+            return b"".join(parts)
+
+    @classmethod
+    def restore(
+        cls,
+        data: bytes,
+        sketch_factory: Callable[[], QuantileSketch],
+        clock: Clock | None = None,
+    ) -> "TimePartitionedStore":
+        """Rebuild a store from :meth:`snapshot` bytes.
+
+        *sketch_factory* must produce the same shape of partition the
+        snapshot holds (sharded vs. plain); a mismatch raises
+        :class:`~repro.errors.SerializationError`.
+        """
+        reader = _SnapshotReader(data)
+        if reader.raw(4) != SNAPSHOT_MAGIC:
+            raise SerializationError(
+                "bad magic: not a store snapshot byte-stream"
+            )
+        version = reader.u8()
+        if version != SNAPSHOT_VERSION:
+            raise SerializationError(
+                f"unsupported snapshot version {version}"
+            )
+        header = json.loads(reader.raw(reader.u32()).decode("utf-8"))
+        store = cls(
+            sketch_factory,
+            clock=clock,
+            partition_ms=header["partition_ms"],
+            fine_partitions=header["fine_partitions"],
+            coarse_factor=header["coarse_factor"],
+            coarse_partitions=header["coarse_partitions"],
+        )
+        store._events_recorded = int(header["events_recorded"])
+        store._dropped_late = int(header["dropped_late"])
+        store._events_expired = int(header["events_expired"])
+        fine_sharded = isinstance(sketch_factory(), ShardedSketch)
+        # Coarse partitions are always plain (compaction merges through
+        # the view factory), so only the fine tier may be sharded.
+        for tier, sharded in ((store._fine, fine_sharded),
+                              (store._coarse, False)):
+            for _ in range(reader.u32()):
+                bucket_id = reader.i64()
+                tier[bucket_id] = _thaw(
+                    reader, store._view_factory, sharded
+                )
+        if not reader.exhausted:
+            raise SerializationError(
+                "trailing bytes after store snapshot"
+            )
+        return store
+
+
+class _SnapshotReader:
+    """Sequential reader over snapshot bytes with bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def raw(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise SerializationError("truncated store snapshot")
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return int(_U8.unpack(self.raw(1))[0])
+
+    def u32(self) -> int:
+        return int(_U32.unpack(self.raw(4))[0])
+
+    def i64(self) -> int:
+        return int(_I64.unpack(self.raw(8))[0])
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+
+def _freeze(sketch: QuantileSketch) -> bytes:
+    """Partition blob: kind byte + core-serialized sketch(es).
+
+    A :class:`ShardedSketch` partition is stored shard-by-shard so a
+    restore reproduces the exact per-shard state (and therefore a
+    re-snapshot is byte-identical); plain partitions are one codec
+    payload.
+    """
+    if isinstance(sketch, ShardedSketch):
+        parts = [
+            _U8.pack(1),
+            _U8.pack(_PARTITIONER_CODES[sketch.partitioner]),
+            _U32.pack(sketch.n_shards),
+        ]
+        for shard in sketch.shards:
+            payload = dumps(shard)
+            parts.append(_U32.pack(len(payload)))
+            parts.append(payload)
+        return b"".join(parts)
+    payload = dumps(sketch)
+    return _U8.pack(0) + _U32.pack(len(payload)) + payload
+
+
+def _thaw(
+    reader: _SnapshotReader,
+    base_factory: Callable[[], QuantileSketch],
+    expect_sharded: bool,
+) -> QuantileSketch:
+    kind = reader.u8()
+    if kind == 1:
+        if not expect_sharded:
+            raise SerializationError(
+                "snapshot holds a sharded partition but the factory "
+                "builds plain sketches"
+            )
+        partitioner = _PARTITIONER_NAMES.get(reader.u8())
+        if partitioner is None:
+            raise SerializationError(
+                "unknown partitioner code in store snapshot"
+            )
+        n_shards = reader.u32()
+        shards = [
+            loads(reader.raw(reader.u32())) for _ in range(n_shards)
+        ]
+        return ShardedSketch.from_shards(
+            base_factory, shards, partitioner=partitioner
+        )
+    if kind != 0:
+        raise SerializationError(
+            f"unknown partition kind {kind} in store snapshot"
+        )
+    if expect_sharded:
+        raise SerializationError(
+            "snapshot holds a plain partition but the factory builds "
+            "sharded sketches"
+        )
+    return loads(reader.raw(reader.u32()))

@@ -6,8 +6,12 @@ seconds*, right now?".  :class:`SlidingWindowSketch` provides that by
 composing mergeable sketches over a ring of time panes:
 
 * each incoming value lands in the pane covering its timestamp;
-* a query merges the panes inside the lookback horizon into a
-  throwaway sketch and answers from it;
+* a query merges the panes inside the lookback horizon and answers
+  from the merged view, which is cached under a version counter (the
+  same invalidation rule as ``ShardedSketch``): only a ``record`` that
+  changed the window — a value landing or a pane evicting — forces the
+  next query to re-merge, so repeated queries of an unchanged window
+  are merge-free;
 * panes older than the horizon are evicted as time advances.
 
 Memory is ``O(num_panes)`` sketches regardless of stream rate, and the
@@ -60,6 +64,9 @@ class SlidingWindowSketch:
         self.pane_ms = self.window_ms / self.num_panes
         self._panes: dict[int, QuantileSketch] = {}
         self._latest_time = -math.inf
+        self._version = 0
+        self._cached_version = -1
+        self._cached_view: QuantileSketch | None = None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -75,7 +82,8 @@ class SlidingWindowSketch:
         timestamp_ms = float(timestamp_ms)
         if timestamp_ms > self._latest_time:
             self._latest_time = timestamp_ms
-            self._evict()
+            if self._evict():
+                self._version += 1
         if timestamp_ms <= self._latest_time - self.window_ms:
             return  # older than any query could see
         pane_id = int(math.floor(timestamp_ms / self.pane_ms))
@@ -84,13 +92,15 @@ class SlidingWindowSketch:
             pane = self._factory()
             self._panes[pane_id] = pane
         pane.update(value)
+        self._version += 1
 
-    def _evict(self) -> None:
+    def _evict(self) -> int:
         horizon = self._latest_time - self.window_ms
         cutoff = int(math.floor(horizon / self.pane_ms))
         stale = [pane_id for pane_id in self._panes if pane_id < cutoff]
         for pane_id in stale:
             del self._panes[pane_id]
+        return len(stale)
 
     # ------------------------------------------------------------------
     # Queries
@@ -101,6 +111,11 @@ class SlidingWindowSketch:
             raise EmptySketchError(
                 "no events inside the sliding window"
             )
+        if (
+            self._cached_view is not None
+            and self._cached_version == self._version
+        ):
+            return self._cached_view
         merged = self._factory()
         horizon = self._latest_time - self.window_ms
         cutoff = int(math.floor(horizon / self.pane_ms))
@@ -111,6 +126,8 @@ class SlidingWindowSketch:
             raise EmptySketchError(
                 "no events inside the sliding window"
             )
+        self._cached_view = merged
+        self._cached_version = self._version
         return merged
 
     def quantile(self, q: float) -> float:

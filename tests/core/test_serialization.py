@@ -1,9 +1,15 @@
-"""Unit tests for sketch serialization."""
+"""Unit tests for sketch serialization.
+
+Registry-driven: every sketch registered in ``repro.core.registry``
+must have a codec and round-trip *bit-identically*, so a newly added
+sketch cannot silently escape the serving system's snapshot path.
+"""
 
 import numpy as np
 import pytest
 
 from repro.core import SKETCH_CLASSES, dumps, loads, make_sketch, paper_config
+from repro.core import serialization
 from repro.core.base import QuantileSketch
 from repro.errors import SerializationError
 
@@ -16,6 +22,54 @@ def fill(name: str, rng: np.random.Generator) -> QuantileSketch:
     n = 2_000 if name == "gk" else 30_000
     sketch.update_batch(1.0 + rng.pareto(1.0, n))
     return sketch
+
+
+class TestRegistryCoverage:
+    """The codec table must track the sketch registry exactly."""
+
+    def test_every_registered_sketch_has_a_codec(self):
+        missing = sorted(set(SKETCH_CLASSES) - set(serialization._CODECS))
+        assert not missing, (
+            f"sketches registered in repro.core.registry but lacking a "
+            f"serialization codec: {missing} — add an encoder/decoder "
+            f"pair to repro.core.serialization._CODECS"
+        )
+
+    def test_codec_classes_match_registry_classes(self):
+        mismatched = sorted(
+            name
+            for name in SKETCH_CLASSES
+            if name in serialization._CODECS
+            and serialization._CODECS[name][0] is not SKETCH_CLASSES[name]
+        )
+        assert not mismatched, (
+            f"codec bound to a different class than the registry for: "
+            f"{mismatched}"
+        )
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_round_trip_is_bit_identical(self, name, rng):
+        """decode(encode(s)) must re-encode to the same bytes.
+
+        Bit-identity is what makes store snapshots deterministic: the
+        service layer re-snapshots restored stores and expects the
+        exact payload back.
+        """
+        sketch = fill(name, rng)
+        payload = dumps(sketch)
+        again = dumps(loads(payload))
+        assert again == payload, (
+            f"sketch {name!r} does not round-trip bit-identically "
+            f"through its codec ({len(payload)} bytes in, "
+            f"{len(again)} bytes out)"
+        )
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_empty_round_trip_is_bit_identical(self, name):
+        payload = dumps(make_sketch(name))
+        assert dumps(loads(payload)) == payload, (
+            f"empty {name!r} does not round-trip bit-identically"
+        )
 
 
 @pytest.mark.parametrize("name", ALL_NAMES)

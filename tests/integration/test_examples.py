@@ -23,6 +23,7 @@ EXPECTED_OUTPUT = {
     "sketch_comparison.py": "uddsketch",
     "turnstile_deletions.py": "different question",
     "reproducible_replay.py": "conformance: OK",
+    "quantile_service_demo.py": "query latency over 300 TCP round-trips",
 }
 
 

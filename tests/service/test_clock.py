@@ -1,0 +1,43 @@
+"""Tests for the injectable service clocks."""
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.service.clock import ManualClock, SystemClock
+
+
+class TestManualClock:
+    def test_starts_where_told(self):
+        assert ManualClock(1_234.5).now_ms() == 1_234.5
+
+    def test_advance(self):
+        clock = ManualClock(100.0)
+        assert clock.advance(50.0) == 150.0
+        assert clock.now_ms() == 150.0
+
+    def test_set_time(self):
+        clock = ManualClock()
+        assert clock.set_time(10.0) == 10.0
+        assert clock.now_ms() == 10.0
+
+    def test_never_moves_backwards(self):
+        clock = ManualClock(100.0)
+        with pytest.raises(InvalidValueError):
+            clock.advance(-1.0)
+        with pytest.raises(InvalidValueError):
+            clock.set_time(99.0)
+
+    def test_does_not_tick_on_its_own(self):
+        clock = ManualClock(7.0)
+        for _ in range(100):
+            assert clock.now_ms() == 7.0
+
+
+class TestSystemClock:
+    def test_tracks_wall_time(self):
+        clock = SystemClock()
+        first = clock.now_ms()
+        second = clock.now_ms()
+        assert second >= first
+        # Epoch milliseconds, not seconds: any date past 2001.
+        assert first > 1e12

@@ -1,0 +1,116 @@
+"""Tests for the length-prefixed JSON wire protocol."""
+
+import io
+import math
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service import protocol
+
+
+def round_trip(payload):
+    stream = io.BytesIO(protocol.encode_frame(payload))
+    return protocol.read_frame(stream)
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        payload = {"op": "ingest", "values": [1.0, 2.5], "metric": "m"}
+        assert round_trip(payload) == payload
+
+    def test_canonical_bytes_ignore_key_order(self):
+        a = protocol.encode_message({"b": 1, "a": 2})
+        b = protocol.encode_message({"a": 2, "b": 1})
+        assert a == b
+        assert a == b'{"a":2,"b":1}'  # sorted keys, no whitespace
+
+    def test_nan_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_message({"value": math.nan})
+        with pytest.raises(ProtocolError):
+            protocol.encode_message({"value": math.inf})
+
+    def test_unencodable_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_message({"value": object()})
+
+    def test_oversize_outgoing_frame_rejected(self):
+        payload = {"blob": "x" * (protocol.MAX_FRAME_BYTES + 16)}
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame(payload)
+
+
+class TestDecoding:
+    def test_multiple_frames_in_one_stream(self):
+        stream = io.BytesIO(
+            protocol.encode_frame({"n": 1})
+            + protocol.encode_frame({"n": 2})
+        )
+        assert protocol.read_frame(stream) == {"n": 1}
+        assert protocol.read_frame(stream) == {"n": 2}
+        assert protocol.read_frame(stream) is None
+
+    def test_clean_eof_returns_none(self):
+        assert protocol.read_frame(io.BytesIO(b"")) is None
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(ProtocolError):
+            protocol.read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_eof_mid_body_raises(self):
+        frame = protocol.encode_frame({"op": "ping"})
+        with pytest.raises(ProtocolError):
+            protocol.read_frame(io.BytesIO(frame[:-2]))
+
+    def test_oversize_incoming_length_rejected_before_read(self):
+        header = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError):
+            protocol.read_frame(io.BytesIO(header))
+
+    def test_invalid_json_body_raises(self):
+        body = b"not json"
+        stream = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError):
+            protocol.read_frame(stream)
+
+    def test_non_object_body_raises(self):
+        body = b"[1,2,3]"
+        stream = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError):
+            protocol.read_frame(stream)
+
+    def test_invalid_utf8_body_raises(self):
+        body = b"\xff\xfe{}"
+        stream = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError):
+            protocol.read_frame(stream)
+
+
+class TestWriteFrame:
+    def test_write_then_read(self):
+        stream = io.BytesIO()
+        protocol.write_frame(stream, {"op": "ping"})
+        stream.seek(0)
+        assert protocol.read_frame(stream) == {"op": "ping"}
+
+
+class TestResponseConstructors:
+    def test_ok(self):
+        assert protocol.ok(count=3) == {"ok": True, "count": 3}
+
+    def test_error(self):
+        response = protocol.error("bad_request", "nope", hint="x")
+        assert response == {
+            "ok": False,
+            "error": "bad_request",
+            "message": "nope",
+            "hint": "x",
+        }
+
+    def test_shed_is_machine_detectable(self):
+        response = protocol.shed("queue full")
+        assert response["error"] == protocol.OVERLOADED
+        assert response["shed"] is True
+        assert response["ok"] is False

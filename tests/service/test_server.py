@@ -1,0 +1,260 @@
+"""End-to-end tests: TCP client against a live quantile server."""
+
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DDSketch
+from repro.errors import (
+    ServerOverloadedError,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from repro.service import (
+    ManualClock,
+    MetricRegistry,
+    QuantileClient,
+    QuantileServer,
+)
+from repro.service import protocol
+
+
+def make_registry(clock):
+    # Wide fine horizon so nothing expires mid-test.
+    return MetricRegistry(
+        sketch_factory=lambda: DDSketch(alpha=0.01),
+        clock=clock,
+        partition_ms=1_000.0,
+        fine_partitions=100_000,
+    )
+
+
+@pytest.fixture()
+def server():
+    clock = ManualClock(0.0)
+    with QuantileServer(make_registry(clock)) as srv:
+        srv.clock = clock
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with QuantileClient(host, port, timeout=5.0, retries=0) as cli:
+        yield cli
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.005)
+
+
+class TestBasicOps:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_ingest_flush_query(self, client, rng):
+        values = rng.lognormal(4.6, 0.5, 2_000)
+        reference = DDSketch(alpha=0.01)
+        reference.update_batch(values)
+        for start in range(0, 2_000, 500):
+            batch = values[start : start + 500]
+            assert client.ingest("lat", batch, timestamp_ms=0.0) == 500
+        client.flush()
+        assert client.count("lat") == 2_000
+        assert client.quantile("lat", 0.5) == reference.quantile(0.5)
+        assert client.quantiles("lat", [0.5, 0.99]) == (
+            reference.quantiles([0.5, 0.99])
+        )
+        assert client.rank("lat", 100.0) == reference.rank(100.0)
+        assert client.cdf("lat", 100.0) == reference.cdf(100.0)
+
+    def test_range_query_over_tcp(self, client):
+        client.ingest("lat", [1.0], timestamp_ms=500.0)
+        client.ingest("lat", [100.0], timestamp_ms=5_500.0)
+        client.flush()
+        assert client.count("lat", t0=0.0, t1=1_000.0) == 1
+        assert client.quantile("lat", 0.5, t0=0.0, t1=1_000.0) == (
+            pytest.approx(1.0, rel=0.02)
+        )
+        assert client.quantile("lat", 0.5, t0=5_000.0, t1=6_000.0) == (
+            pytest.approx(100.0, rel=0.02)
+        )
+
+    def test_tags_route_to_distinct_series(self, client):
+        client.ingest(
+            "lat", [1.0], timestamp_ms=0.0, tags={"region": "eu"}
+        )
+        client.ingest(
+            "lat", [9.0], timestamp_ms=0.0, tags={"region": "us"}
+        )
+        client.flush()
+        assert client.count("lat", tags={"region": "eu"}) == 1
+        assert client.count("lat", tags={"region": "us"}) == 1
+        listing = client.metrics()
+        assert {"name": "lat", "tags": {"region": "eu"}} in listing
+        assert {"name": "lat", "tags": {"region": "us"}} in listing
+
+    def test_stats_op(self, client):
+        client.ingest("lat", [1.0, 2.0], timestamp_ms=0.0)
+        client.flush()
+        stats = client.stats()
+        assert stats["metrics"] == 1
+        assert stats["events_recorded"] == 2
+        assert stats["ingested_values"] == 2
+        assert stats["ingest_requests"] == 1
+        assert stats["shed_requests"] == 0
+        assert stats["requests"] >= 3  # ingest + flush + stats
+
+
+class TestErrors:
+    def test_unknown_metric(self, client):
+        with pytest.raises(ServiceError, match="unknown metric"):
+            client.quantile("nope", 0.5)
+
+    def test_query_does_not_create_series(self, client, server):
+        with pytest.raises(ServiceError):
+            client.count("nope")
+        assert len(server.registry) == 0
+
+    def test_unknown_op(self, client):
+        with pytest.raises(ServiceError, match="unknown_op"):
+            client.call({"op": "frobnicate"})
+
+    def test_missing_fields(self, client):
+        with pytest.raises(ServiceError, match="bad_request"):
+            client.call({"op": "ingest", "values": [1.0]})
+        with pytest.raises(ServiceError, match="bad_request"):
+            client.call({"op": "ingest", "metric": "m", "values": []})
+        with pytest.raises(ServiceError, match="bad_request"):
+            client.call({"op": "quantile", "metric": "m"})
+
+    def test_invalid_quantile(self, client):
+        client.ingest("lat", [1.0], timestamp_ms=0.0)
+        client.flush()
+        with pytest.raises(ServiceError, match="invalid_quantile"):
+            client.quantile("lat", 1.5)
+
+    def test_empty_range(self, client):
+        client.ingest("lat", [1.0], timestamp_ms=0.0)
+        client.flush()
+        with pytest.raises(ServiceError, match="empty"):
+            client.quantile("lat", 0.5, t0=9e6, t1=1e7)
+
+    def test_errors_leave_connection_usable(self, client):
+        with pytest.raises(ServiceError):
+            client.call({"op": "frobnicate"})
+        assert client.ping() is True
+
+    def test_malformed_frame_gets_error_then_close(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            rfile = sock.makefile("rb")
+            # A non-object JSON body is a protocol violation.
+            sock.sendall(b"\x00\x00\x00\x05[1,2]")
+            response = protocol.read_frame(rfile)
+            assert response["ok"] is False
+            assert response["error"] == "protocol"
+            assert protocol.read_frame(rfile) is None  # closed
+
+
+class TestBackpressure:
+    def test_queue_full_sheds_deterministically(self):
+        clock = ManualClock(0.0)
+        registry = make_registry(clock)
+        with QuantileServer(
+            registry, ingest_queue_size=3, ingest_workers=1
+        ) as server:
+            host, port = server.address
+            with QuantileClient(host, port, retries=0) as client:
+                server.pause_ingest()
+                # The single worker parks holding one batch...
+                client.ingest("lat", [1.0], timestamp_ms=0.0)
+                wait_until(lambda: server.queue_depth() == 0)
+                # ...then exactly queue_size batches fit.
+                for _ in range(3):
+                    client.ingest("lat", [1.0], timestamp_ms=0.0)
+                with pytest.raises(ServerOverloadedError):
+                    client.ingest("lat", [1.0], timestamp_ms=0.0)
+                stats = client.stats()
+                assert stats["shed_requests"] == 1
+                # Releasing the gate drains everything accepted.
+                server.resume_ingest()
+                client.flush()
+                assert client.count("lat") == 4
+                assert client.stats()["ingested_values"] == 4
+
+    def test_shed_is_not_retried_by_client(self):
+        clock = ManualClock(0.0)
+        registry = make_registry(clock)
+        sleeps = []
+        with QuantileServer(
+            registry, ingest_queue_size=1, ingest_workers=1
+        ) as server:
+            host, port = server.address
+            with QuantileClient(
+                host, port, retries=3, sleep=sleeps.append
+            ) as client:
+                server.pause_ingest()
+                client.ingest("lat", [1.0], timestamp_ms=0.0)
+                wait_until(lambda: server.queue_depth() == 0)
+                client.ingest("lat", [1.0], timestamp_ms=0.0)
+                with pytest.raises(ServerOverloadedError):
+                    client.ingest("lat", [1.0], timestamp_ms=0.0)
+                assert sleeps == []  # overload is not a transport error
+                server.resume_ingest()
+
+
+class TestClientRetry:
+    def test_unreachable_server_exhausts_retries(self):
+        # Bind-then-close to get a port nobody is listening on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        sleeps = []
+        client = QuantileClient(
+            "127.0.0.1",
+            port,
+            timeout=0.5,
+            retries=2,
+            backoff_ms=10.0,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(ServiceUnavailableError):
+            client.ping()
+        # Exponential backoff between the three attempts.
+        assert sleeps == [0.01, 0.02]
+
+    def test_reconnects_after_server_side_close(self, server):
+        host, port = server.address
+        with QuantileClient(host, port, retries=1) as client:
+            assert client.ping() is True
+            # Forcibly drop the client's socket; the next call must
+            # transparently reconnect.
+            client._sock.close()
+            assert client.ping() is True
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, server):
+        with pytest.raises(Exception):
+            server.start()
+
+    def test_stop_is_idempotent(self):
+        server = QuantileServer(make_registry(ManualClock()))
+        server.start()
+        server.stop()
+        server.stop()
+
+    def test_numpy_values_ingest(self, client):
+        client.ingest(
+            "lat", np.asarray([1.0, 2.0]), timestamp_ms=0.0
+        )
+        client.flush()
+        assert client.count("lat") == 2

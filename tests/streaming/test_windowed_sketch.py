@@ -70,6 +70,64 @@ class TestWindowing:
         assert sketch.count == 2
 
 
+class TestMergedViewCache:
+    """PR 3: repeated queries of an unchanged window must not re-merge."""
+
+    def counting(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return DDSketch(alpha=0.01)
+
+        return calls, SlidingWindowSketch(
+            factory, window_ms=10_000.0, num_panes=10
+        )
+
+    def test_no_remerge_on_repeated_queries(self):
+        calls, sketch = self.counting()
+        for i in range(200):
+            sketch.record(float(i % 13 + 1), i * 10.0)
+        before = len(calls)
+        first = sketch.quantile(0.5)
+        assert len(calls) == before + 1  # exactly one view build
+        for _ in range(10):
+            assert sketch.quantile(0.5) == first
+            sketch.quantiles((0.9, 0.99))
+        assert len(calls) == before + 1  # served from the cache
+
+    def test_record_invalidates_cache(self):
+        calls, sketch = self.counting()
+        sketch.record(1.0, 0.0)
+        sketch.quantile(0.5)
+        built = len(calls)
+        sketch.record(2.0, 100.0)
+        sketch.quantile(0.5)
+        assert len(calls) == built + 1  # new value forced a re-merge
+
+    def test_eviction_invalidates_cache(self):
+        calls, sketch = self.counting()
+        for t in range(10):
+            sketch.record(1.0, t * 1_000.0)
+        assert sketch.quantile(0.9) == pytest.approx(1.0, rel=0.02)
+        built = len(calls)
+        # Jump far ahead: old panes evict, the new value lands.
+        sketch.record(100.0, 60_000.0)
+        assert sketch.quantile(0.9) == pytest.approx(100.0, rel=0.02)
+        # One factory call for the fresh pane, one for the re-merge.
+        assert len(calls) == built + 2
+        assert sketch.count == 1
+
+    def test_ignored_late_record_keeps_cache(self):
+        calls, sketch = self.counting()
+        sketch.record(5.0, 50_000.0)
+        sketch.quantile(0.5)
+        built = len(calls)
+        sketch.record(1.0, 100.0)  # beyond the horizon: ignored
+        sketch.quantile(0.5)
+        assert len(calls) == built  # window unchanged, cache valid
+
+
 class TestResourceBounds:
     def test_pane_count_bounded(self, rng):
         sketch = make(window_ms=10_000.0, num_panes=8)
