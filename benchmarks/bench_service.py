@@ -25,6 +25,8 @@ from pathlib import Path
 
 from repro.experiments.export import write_json
 from repro.experiments.service_bench import run_service_benchmark
+from repro.obs.export import write_json as write_obs_json
+from repro.obs.export import write_prometheus
 
 
 def _check(result) -> None:
@@ -37,6 +39,14 @@ def _check(result) -> None:
     assert result.server_stats["shed_requests"] == result.shed_requests
     # Conservation: every ingested value was applied, none invented.
     assert result.server_stats["ingested_values"] >= result.events
+    # The service observed itself: op latencies came out of its own
+    # DDSketch histograms with real (non-zero) percentiles.
+    spans = result.telemetry["histograms"]["span.server.op.quantile"]
+    assert spans["count"] > 0
+    assert spans["p50"] > 0.0
+    assert result.telemetry["counters"]["server.shed_requests"] == (
+        result.shed_requests
+    )
 
 
 def bench_service(tmp_path_factory=None, output: Path | None = None):
@@ -46,6 +56,14 @@ def bench_service(tmp_path_factory=None, output: Path | None = None):
     if output is not None:
         path = write_json(result, output / "service.json")
         print(f"\nwrote {path}")
+        output.mkdir(parents=True, exist_ok=True)
+        for suffix, writer in (
+            ("json", write_obs_json), ("prom", write_prometheus),
+        ):
+            snap_path = output / f"service_telemetry.{suffix}"
+            with open(snap_path, "w", encoding="utf-8") as handle:
+                writer(result.telemetry, handle)
+            print(f"wrote {snap_path}")
     return result
 
 

@@ -22,6 +22,7 @@ from repro.analysis.rules.exceptions import (
 )
 from repro.analysis.rules.float_equality import FloatEqualityRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.obs import DirectClockReadRule
 from repro.analysis.rules.rng_discipline import (
     LegacyGlobalNumpyRandomRule,
     StdlibRandomRule,
@@ -41,6 +42,7 @@ ALL_RULES: tuple[Rule, ...] = (
     LockDisciplineRule(),
     BareExceptRule(),
     SilentSwallowRule(),
+    DirectClockReadRule(),
 )
 
 RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

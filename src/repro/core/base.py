@@ -6,16 +6,49 @@ single-pass, mergeable summary of a stream of floats that can answer
 the paper's evaluation exercises — insertion (`update`), distributed
 aggregation (`merge`), queries (`quantile`, `quantiles`, `rank`, `cdf`)
 and space accounting (`size_bytes`).
+
+Value-domain policy
+-------------------
+``NaN`` is never a legal input: it fails every ordered comparison, so
+admitting one would silently corrupt the shared ``_count``/``_min``/
+``_max`` bookkeeping (the count advances while the extremes do not).
+The bookkeeping helpers :meth:`QuantileSketch._observe` and
+:meth:`QuantileSketch._observe_batch` therefore raise
+:class:`~repro.errors.InvalidValueError` on NaN as a hard backstop, and
+every registry sketch additionally rejects it (with ±inf) up front in
+``update``.  ``±inf`` is *representable* by the bookkeeping (min/max
+comparisons order it correctly) but rejected by every concrete sketch in
+the registry, whose bucketing/compaction algorithms need finite input —
+so in practice the accepted domain is finite floats.
+
+Aliasing policy
+---------------
+``s.merge(s)`` is well-defined and doubles the sketch: merging reads
+*other*'s internal state while mutating our own, so every concrete
+``merge`` first routes through :meth:`QuantileSketch._merge_operand`,
+which snapshots *other* (a deep copy) when it aliases ``self``.
 """
 
 from __future__ import annotations
 
 import abc
+import copy
+import math
 from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import EmptySketchError, InvalidQuantileError
+from repro.errors import (
+    EmptySketchError,
+    InvalidQuantileError,
+    InvalidValueError,
+)
+
+
+def _reject_nan_batch(values: np.ndarray) -> None:
+    """Raise if *values* contains NaN (checked before any mutation)."""
+    if values.size and bool(np.isnan(values).any()):
+        raise InvalidValueError("batch contains NaN; nothing ingested")
 
 
 def validate_quantile(q: float) -> float:
@@ -60,13 +93,28 @@ class QuantileSketch(abc.ABC):
 
         The default implementation loops over :meth:`update`; sketches
         with vectorisable ingestion (DDSketch, UDDSketch, Moments Sketch)
-        override this with a numpy fast path.
+        override this with a numpy fast path.  The batch is pre-scanned
+        for NaN so a poisoned batch is rejected atomically — no prefix
+        of it is applied.
         """
-        for value in np.asarray(values, dtype=np.float64).ravel():
+        array = np.asarray(values, dtype=np.float64).ravel()
+        _reject_nan_batch(array)
+        for value in array:
             self.update(float(value))
 
     def _observe(self, value: float) -> None:
-        """Record the min/max/count bookkeeping shared by all sketches."""
+        """Record the min/max/count bookkeeping shared by all sketches.
+
+        Raises :class:`~repro.errors.InvalidValueError` on NaN *before*
+        touching any state: NaN fails both ordered comparisons, so it
+        would advance ``_count`` while leaving ``_min``/``_max`` stale
+        (see the module's value-domain policy).  ±inf orders correctly
+        and is accepted here; concrete sketches reject it earlier.
+        """
+        if math.isnan(value):
+            raise InvalidValueError(
+                f"{type(self).__name__} cannot ingest NaN"
+            )
         self._count += 1
         if value < self._min:
             self._min = value
@@ -74,8 +122,10 @@ class QuantileSketch(abc.ABC):
             self._max = value
 
     def _observe_batch(self, values: np.ndarray) -> None:
+        """Batched :meth:`_observe`; rejects NaN before mutating state."""
         if values.size == 0:
             return
+        _reject_nan_batch(values)
         self._count += int(values.size)
         lo = float(values.min())
         hi = float(values.max())
@@ -95,6 +145,19 @@ class QuantileSketch(abc.ABC):
         After the call, this sketch summarises the union of both input
         streams (Sec 2.4: mergeability).  *other* is left unchanged.
         """
+
+    def _merge_operand(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Resolve aliasing before a merge: snapshot *other* if it is us.
+
+        Every concrete ``merge`` calls this first.  Merging a sketch
+        into itself must behave as if merging an identical independent
+        copy (the stream doubles); without the snapshot, ``merge``
+        would iterate *other*'s compactors/stores/centroids while
+        mutating the same objects, corrupting the sketch.
+        """
+        if other is self:
+            return copy.deepcopy(other)
+        return other
 
     def _merge_bookkeeping(self, other: "QuantileSketch") -> None:
         self._count += other._count
@@ -135,7 +198,9 @@ class QuantileSketch(abc.ABC):
                 lo = mid
             else:
                 hi = mid
-        return int(round(lo * self._count))
+        # value >= _min here, so at least one item is <= value; the
+        # bisection's numeric floor must never round that down to 0.
+        return min(max(int(round(lo * self._count)), 1), self._count)
 
     def cdf(self, value: float) -> float:
         """Estimate the empirical CDF at *value* (``Quantile^-1`` in the

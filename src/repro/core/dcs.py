@@ -171,6 +171,12 @@ class DyadicCountSketch(QuantileSketch):
         Sums the dyadic decomposition of ``[0, floor(value) + 1)``.
         """
         self._require_nonempty()
+        # Saturate before flooring: math.floor(+/-inf) cannot become an
+        # int, and the observed range already answers both extremes.
+        if value >= self._max:
+            return self._count
+        if value < self._min:
+            return 0
         x = int(math.floor(value)) + 1  # items <= value == items < x
         if x <= 0:
             return 0
@@ -208,6 +214,7 @@ class DyadicCountSketch(QuantileSketch):
     # ------------------------------------------------------------------
 
     def merge(self, other: QuantileSketch) -> None:
+        other = self._merge_operand(other)
         if not isinstance(other, DyadicCountSketch):
             raise IncompatibleSketchError(
                 f"cannot merge DyadicCountSketch with "

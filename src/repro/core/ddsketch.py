@@ -175,6 +175,7 @@ class DDSketch(QuantileSketch):
     # ------------------------------------------------------------------
 
     def merge(self, other: QuantileSketch) -> None:
+        other = self._merge_operand(other)
         if not isinstance(other, DDSketch):
             raise IncompatibleSketchError(
                 f"cannot merge DDSketch with {type(other).__name__}"

@@ -47,6 +47,7 @@ class ExactQuantiles(QuantileSketch):
         self._observe_batch(values)
 
     def merge(self, other: QuantileSketch) -> None:
+        other = self._merge_operand(other)
         if not isinstance(other, ExactQuantiles):
             raise IncompatibleSketchError(
                 f"cannot merge ExactQuantiles with {type(other).__name__}"

@@ -141,6 +141,7 @@ class GKSketch(QuantileSketch):
         lists; its error bound is the *sum* of the inputs' epsilons, the
         classic weakness that motivated natively-mergeable sketches.
         """
+        other = self._merge_operand(other)
         if not isinstance(other, GKSketch):
             raise IncompatibleSketchError(
                 f"cannot merge GKSketch with {type(other).__name__}"

@@ -170,6 +170,7 @@ class GKArray(QuantileSketch):
 
     def merge(self, other: QuantileSketch) -> None:
         """Combine two GKArray summaries (summed error bounds, like GK)."""
+        other = self._merge_operand(other)
         if not isinstance(other, GKArray):
             raise IncompatibleSketchError(
                 f"cannot merge GKArray with {type(other).__name__}"

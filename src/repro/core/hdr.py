@@ -189,6 +189,7 @@ class HdrHistogram(QuantileSketch):
     # ------------------------------------------------------------------
 
     def merge(self, other: QuantileSketch) -> None:
+        other = self._merge_operand(other)
         if not isinstance(other, HdrHistogram):
             raise IncompatibleSketchError(
                 f"cannot merge HdrHistogram with {type(other).__name__}"

@@ -210,6 +210,7 @@ class KLLSketch(QuantileSketch):
     # ------------------------------------------------------------------
 
     def merge(self, other: QuantileSketch) -> None:
+        other = self._merge_operand(other)
         if not isinstance(other, KLLSketch):
             raise IncompatibleSketchError(
                 f"cannot merge KLLSketch with {type(other).__name__}"

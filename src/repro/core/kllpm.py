@@ -140,6 +140,7 @@ class KLLPlusMinus(QuantileSketch):
     # ------------------------------------------------------------------
 
     def merge(self, other: QuantileSketch) -> None:
+        other = self._merge_operand(other)
         if not isinstance(other, KLLPlusMinus):
             raise IncompatibleSketchError(
                 f"cannot merge KLLPlusMinus with {type(other).__name__}"

@@ -235,6 +235,7 @@ class MomentsSketch(QuantileSketch):
     # ------------------------------------------------------------------
 
     def merge(self, other: QuantileSketch) -> None:
+        other = self._merge_operand(other)
         if not isinstance(other, MomentsSketch):
             raise IncompatibleSketchError(
                 f"cannot merge MomentsSketch with {type(other).__name__}"
@@ -472,14 +473,19 @@ class MomentsSketch(QuantileSketch):
             l_mid = 0.5 * (self._l_min + self._l_max)
             l_half = 0.5 * (self._l_max - self._l_min)
             scaled = (math.log(value) - l_mid) / l_half
-            return int(round(solution.cdf_at(scaled) * self._count))
-        s = 0.5 * (self._t_min + self._t_max)
-        h = 0.5 * (self._t_max - self._t_min)
-        transformed = float(
-            self._apply_transform(np.asarray([value], dtype=np.float64))[0]
-        )
-        scaled = (transformed - s) / h
-        return int(round(solution.cdf_at(scaled) * self._count))
+        else:
+            s = 0.5 * (self._t_min + self._t_max)
+            h = 0.5 * (self._t_max - self._t_min)
+            transformed = float(
+                self._apply_transform(
+                    np.asarray([value], dtype=np.float64)
+                )[0]
+            )
+            scaled = (transformed - s) / h
+        estimate = int(round(solution.cdf_at(scaled) * self._count))
+        # value >= _min here, so at least the minimum itself is <=
+        # value; the fitted CDF's tail must not round that down to 0.
+        return max(1, min(estimate, self._count))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -187,6 +187,7 @@ class RandomSketch(QuantileSketch):
     # ------------------------------------------------------------------
 
     def merge(self, other: QuantileSketch) -> None:
+        other = self._merge_operand(other)
         if not isinstance(other, RandomSketch):
             raise IncompatibleSketchError(
                 f"cannot merge RandomSketch with {type(other).__name__}"

@@ -255,6 +255,7 @@ class ReqSketch(QuantileSketch):
     # ------------------------------------------------------------------
 
     def merge(self, other: QuantileSketch) -> None:
+        other = self._merge_operand(other)
         if not isinstance(other, ReqSketch):
             raise IncompatibleSketchError(
                 f"cannot merge ReqSketch with {type(other).__name__}"

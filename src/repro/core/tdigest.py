@@ -165,13 +165,16 @@ class TDigest(QuantileSketch):
             return 0
         cumulative = np.cumsum(self._counts) - self._counts / 2.0
         estimate = float(np.interp(value, self._means, cumulative))
-        return max(0, min(int(round(estimate)), self._count))
+        # value >= _min here, so at least the minimum itself is <= value;
+        # the half-count centroid interpolation must not round that to 0.
+        return max(1, min(int(round(estimate)), self._count))
 
     # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------
 
     def merge(self, other: QuantileSketch) -> None:
+        other = self._merge_operand(other)
         if not isinstance(other, TDigest):
             raise IncompatibleSketchError(
                 f"cannot merge TDigest with {type(other).__name__}"

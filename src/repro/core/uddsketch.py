@@ -101,6 +101,7 @@ class UDDSketch(DDSketch):
     # ------------------------------------------------------------------
 
     def merge(self, other: QuantileSketch) -> None:
+        other = self._merge_operand(other)
         if not isinstance(other, UDDSketch):
             raise IncompatibleSketchError(
                 f"cannot merge UDDSketch with {type(other).__name__}"

@@ -181,6 +181,7 @@ def _service(result: ServiceBenchmarkResult) -> dict[str, Any]:
         "overload_attempts": result.overload_attempts,
         "shed_requests": result.shed_requests,
         "server_stats": result.server_stats,
+        "telemetry": result.telemetry,
     }
 
 

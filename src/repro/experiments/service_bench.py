@@ -36,6 +36,7 @@ from repro.experiments.config import (
     current_scale,
 )
 from repro.experiments.reporting import format_table
+from repro.obs.telemetry import Telemetry
 from repro.service.client import QuantileClient
 from repro.service.registry import MetricRegistry, default_sketch_factory
 from repro.service.server import QuantileServer
@@ -66,6 +67,10 @@ class ServiceBenchmarkResult:
     overload_attempts: int = 0
     shed_requests: int = 0
     server_stats: dict[str, int] = field(default_factory=dict)
+    #: :meth:`repro.obs.Telemetry.snapshot` of the server-side
+    #: instruments — op-latency percentiles here come from the service
+    #: observing itself with its own DDSketch histograms.
+    telemetry: dict = field(default_factory=dict)
 
     def to_table(self) -> str:
         rows = [
@@ -214,11 +219,16 @@ def run_service_benchmark(
     ingest_workers: int = 2,
     scale: ExperimentScale | None = None,
     seed: int = BASE_SEED,
+    telemetry: Telemetry | None = None,
 ) -> ServiceBenchmarkResult:
     """Run the three benchmark phases against an in-process server."""
     scale = scale or current_scale()
     events = int(events if events is not None else scale.speed_points)
     names = _metric_names(metrics)
+    # One shared sink: server op spans and store cache counters land in
+    # the same snapshot the result carries out.  Pass repro.obs.NOOP to
+    # benchmark with instrumentation off.
+    telemetry = telemetry if telemetry is not None else Telemetry()
     registry = MetricRegistry(
         sketch_factory=default_sketch_factory(sketch, seed=seed),
         # Wide fine horizon so retention never interferes with the
@@ -227,11 +237,13 @@ def run_service_benchmark(
         fine_partitions=3_600,
         hot_metrics=names,
         n_shards=4,
+        telemetry=telemetry,
     )
     server = QuantileServer(
         registry=registry,
         ingest_queue_size=queue_size,
         ingest_workers=ingest_workers,
+        telemetry=telemetry,
     )
     with server:
         address = server.address
@@ -259,4 +271,5 @@ def run_service_benchmark(
         overload_attempts=overload_attempts,
         shed_requests=shed,
         server_stats=stats,
+        telemetry=telemetry.snapshot(),
     )

@@ -1,0 +1,210 @@
+"""Metric primitives for the observability layer.
+
+Three instrument kinds, mirroring the minimal Prometheus data model:
+
+* :class:`Counter` — a monotone event count (requests served, batches
+  shed, retries issued);
+* :class:`Gauge` — a point-in-time level (ingest queue depth, shard
+  imbalance);
+* :class:`LatencyHistogram` — a latency distribution that *dogfoods*
+  the repo's own :class:`~repro.core.ddsketch.DDSketch`: we observe the
+  quantile service with the very sketches it serves.  Samples are
+  microseconds; percentiles come out with DDSketch's relative-error
+  guarantee at a bounded memory footprint (collapsing store).
+
+All three are thread-safe — the server records from handler and drain
+threads concurrently — and every instrument has a no-op twin used when
+telemetry is disabled, so instrumented hot loops pay only an attribute
+call when observability is off (``benchmarks/bench_obs_overhead.py``
+pins the cost under 5%).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Mapping
+
+from repro.core.ddsketch import DDSketch
+from repro.errors import EmptySketchError
+
+#: Relative-error guarantee of the self-hosted latency sketches.
+HISTOGRAM_ALPHA = 0.01
+
+#: Bucket budget of one latency histogram (collapsing store bounds the
+#: footprint no matter how long the process lives).
+HISTOGRAM_MAX_BINS = 512
+
+#: Percentiles every snapshot/export reports.
+SUMMARY_QS = (0.5, 0.9, 0.99)
+
+
+class Counter:
+    """Monotone event counter."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += int(n)
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Point-in-time level; ``set`` overwrites, ``add`` adjusts."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class LatencyHistogram:
+    """Microsecond latency distribution over a self-hosted DDSketch.
+
+    The underlying sketch keeps the relative-error contract of
+    :class:`~repro.core.ddsketch.DDSketch` (alpha = 1%), so a reported
+    p99 of 840µs means the true p99 lies within 1% of 840µs — the same
+    guarantee the service offers its own clients.
+    """
+
+    __slots__ = ("name", "_lock", "_sketch")
+
+    def __init__(
+        self,
+        name: str,
+        alpha: float = HISTOGRAM_ALPHA,
+        max_bins: int = HISTOGRAM_MAX_BINS,
+    ) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._sketch = DDSketch(
+            alpha=alpha, store="collapsing", max_bins=max_bins
+        )
+
+    def record_us(self, micros: float) -> None:
+        """Record one latency sample, clamped to be non-negative."""
+        micros = float(micros)
+        if micros < 0.0:
+            micros = 0.0
+        with self._lock:
+            self._sketch.update(micros)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._sketch.count
+
+    def quantile(self, q: float) -> float:
+        with self._lock:
+            return self._sketch.quantile(q)
+
+    def quantiles(self, qs: Iterable[float]) -> list[float]:
+        with self._lock:
+            return self._sketch.quantiles(qs)
+
+    def summary(self, qs: Iterable[float] = SUMMARY_QS) -> dict[str, float]:
+        """Snapshot dict: count, min/max and the requested percentiles.
+
+        An empty histogram reports only ``{"count": 0}`` — no sentinel
+        infinities ever leave the process (the wire-format policy of
+        :mod:`repro.service.protocol`).
+        """
+        qs = tuple(qs)
+        with self._lock:
+            out: dict[str, float] = {"count": self._sketch.count}
+            if self._sketch.is_empty:
+                return out
+            out["min"] = self._sketch.min
+            out["max"] = self._sketch.max
+            for q, value in zip(qs, self._sketch.quantiles(qs)):
+                out[f"p{_percentile_label(q)}"] = value
+            return out
+
+
+def _percentile_label(q: float) -> str:
+    """``0.5 -> "50"``, ``0.99 -> "99"``, ``0.999 -> "99.9"``."""
+    scaled = q * 100.0
+    if abs(scaled - round(scaled)) < 1e-9:
+        return str(int(round(scaled)))
+    return f"{scaled:g}"
+
+
+class NoopCounter:
+    """Counter with the same surface and no state (telemetry off)."""
+
+    __slots__ = ()
+    name = "noop"
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    @property
+    def value(self) -> int:
+        return 0
+
+
+class NoopGauge:
+    __slots__ = ()
+    name = "noop"
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class NoopHistogram:
+    __slots__ = ()
+    name = "noop"
+
+    def record_us(self, micros: float) -> None:
+        pass
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    def quantile(self, q: float) -> float:
+        raise EmptySketchError("no-op histogram records nothing")
+
+    def quantiles(self, qs: Iterable[float]) -> list[float]:
+        raise EmptySketchError("no-op histogram records nothing")
+
+    def summary(
+        self, qs: Iterable[float] = SUMMARY_QS
+    ) -> Mapping[str, float]:
+        return {"count": 0}
+
+
+NOOP_COUNTER = NoopCounter()
+NOOP_GAUGE = NoopGauge()
+NOOP_HISTOGRAM = NoopHistogram()

@@ -35,6 +35,7 @@ from repro.core.base import QuantileSketch
 from repro.core.serialization import dumps, loads
 from repro.data.streams import EventBatch
 from repro.errors import InvalidValueError
+from repro.obs.telemetry import NOOP, Telemetry
 from repro.parallel.partition import (
     partition_batch,
     validate_n_shards,
@@ -87,6 +88,11 @@ class ParallelIngestor:
     partitioner:
         ``"round_robin"`` or ``"hash"`` (see
         :mod:`repro.parallel.partition`).
+    telemetry:
+        Observability sink (:mod:`repro.obs`); routing reports
+        per-shard value counters (``ingest.shard.<i>.values``) and the
+        ``ingest.shard_imbalance`` gauge (max over mean shard load;
+        1.0 is perfectly balanced).  Defaults to the disabled no-op.
     """
 
     def __init__(
@@ -95,6 +101,7 @@ class ParallelIngestor:
         n_shards: int = 4,
         backend: str = "thread",
         partitioner: str = "round_robin",
+        telemetry: Telemetry | None = None,
     ) -> None:
         if backend not in BACKENDS:
             raise InvalidValueError(
@@ -104,6 +111,22 @@ class ParallelIngestor:
         self.n_shards = validate_n_shards(n_shards)
         self.backend = backend
         self.partitioner = validate_partitioner(partitioner)
+        self.telemetry = telemetry if telemetry is not None else NOOP
+
+    def _note_routed(self, shard_sizes: Sequence[int]) -> None:
+        """Report per-shard routing counts and the imbalance gauge."""
+        total = 0
+        for shard, size in enumerate(shard_sizes):
+            if size:
+                self.telemetry.counter(
+                    f"ingest.shard.{shard}.values"
+                ).inc(size)
+            total += size
+        if total:
+            mean = total / len(shard_sizes)
+            self.telemetry.gauge("ingest.shard_imbalance").set(
+                max(shard_sizes) / mean
+            )
 
     # ------------------------------------------------------------------
     # One-shot ingestion
@@ -128,6 +151,12 @@ class ParallelIngestor:
             for shard, part in enumerate(parts):
                 if part.size:
                     per_shard[shard].append(part)
+        self._note_routed(
+            [
+                sum(int(chunk.size) for chunk in chunks)
+                for chunks in per_shard
+            ]
+        )
         return per_shard, routed
 
     def ingest(
@@ -221,6 +250,7 @@ class ParallelIngestor:
                     offset=routed,
                 )
                 routed += int(values.size)
+                self._note_routed([int(part.size) for part in parts])
                 futures = [
                     pool.submit(
                         sharded.update_shard, shard, part

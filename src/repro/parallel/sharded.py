@@ -28,7 +28,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.core.base import QuantileSketch
+from repro.core.base import QuantileSketch, _reject_nan_batch
 from repro.errors import IncompatibleSketchError
 from repro.parallel.partition import (
     hash_shard,
@@ -127,6 +127,9 @@ class ShardedSketch(QuantileSketch):
         values = np.asarray(values, dtype=np.float64).ravel()
         if values.size == 0:
             return
+        # Reject NaN before advancing the routing cursor or touching any
+        # shard, so a poisoned batch leaves no partial state behind.
+        _reject_nan_batch(values)
         with self._meta_lock:
             offset = self._routed
             self._routed += int(values.size)
@@ -155,6 +158,7 @@ class ShardedSketch(QuantileSketch):
         values = np.asarray(values, dtype=np.float64).ravel()
         if values.size == 0:
             return
+        _reject_nan_batch(values)
         with self._shard_locks[shard]:
             self._shards[shard].update_batch(values)
         if _observe:
@@ -173,7 +177,21 @@ class ShardedSketch(QuantileSketch):
         shard-by-shard (preserving per-shard parallel query cost); any
         other mergeable sketch — including a differently-sharded one,
         via its merged view — folds into shard 0.
+
+        ``s.merge(s)`` doubles the sketch, like every sketch in the
+        repo; the locks make :meth:`_merge_operand`'s deep copy
+        impossible here, so the self-snapshot is the merged view (a
+        plain, independent sketch) folded into shard 0.
         """
+        if other is self:
+            view = self._merged_view()
+            with self._shard_locks[0]:
+                self._shards[0].merge(view)
+            with self._meta_lock:
+                self._merge_bookkeeping(view)
+                self._routed = self._count
+                self._version += 1
+            return
         if isinstance(other, ShardedSketch):
             if other.n_shards == self.n_shards:
                 for shard in range(self.n_shards):

@@ -98,6 +98,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="ingest drain threads",
     )
+    serve.add_argument(
+        "--telemetry",
+        choices=("on", "off"),
+        default="on",
+        help=(
+            "observability instruments (repro.obs); 'off' swaps in "
+            "no-op twins, costing <5%% on the hot path"
+        ),
+    )
 
     bench = commands.add_parser(
         "bench", help="run the end-to-end service benchmark"
@@ -123,17 +132,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the JSON report here",
     )
+    bench.add_argument(
+        "--telemetry",
+        choices=("on", "off"),
+        default="on",
+        help="server-side observability during the benchmark",
+    )
     return parser
 
 
 def _run_serve(args: argparse.Namespace) -> int:
     # Imported lazily so `--help` stays instant.
+    from repro.obs.export import to_canonical_json
+    from repro.obs.telemetry import NOOP, Telemetry
     from repro.service.registry import (
         MetricRegistry,
         default_sketch_factory,
     )
     from repro.service.server import QuantileServer
 
+    telemetry = Telemetry() if args.telemetry == "on" else NOOP
     registry = MetricRegistry(
         sketch_factory=default_sketch_factory(args.sketch, seed=args.seed),
         partition_ms=args.partition_ms,
@@ -142,6 +160,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         coarse_partitions=args.coarse_partitions,
         hot_metrics=args.hot,
         n_shards=args.shards,
+        telemetry=telemetry,
     )
     server = QuantileServer(
         registry=registry,
@@ -149,13 +168,15 @@ def _run_serve(args: argparse.Namespace) -> int:
         port=args.port,
         ingest_queue_size=args.queue_size,
         ingest_workers=args.workers,
+        telemetry=telemetry,
     )
     with server:
         host, port = server.address
         print(
             f"[repro-service] serving {args.sketch} partitions on "
             f"{host}:{port} (queue={args.queue_size}, "
-            f"workers={args.workers}); Ctrl-C to stop"
+            f"workers={args.workers}, telemetry={args.telemetry}); "
+            f"Ctrl-C to stop"
         )
         try:
             while True:
@@ -164,12 +185,16 @@ def _run_serve(args: argparse.Namespace) -> int:
                 time.sleep(1.0)
         except KeyboardInterrupt:
             print("[repro-service] shutting down")
+    if telemetry.enabled:
+        # Final snapshot for `python -m repro.obs dump` post-mortems.
+        print(to_canonical_json(telemetry.snapshot()))
     return 0
 
 
 def _run_bench(args: argparse.Namespace) -> int:
     from repro.experiments.export import write_json
     from repro.experiments.service_bench import run_service_benchmark
+    from repro.obs.telemetry import NOOP
 
     result = run_service_benchmark(
         sketch=args.sketch,
@@ -180,6 +205,7 @@ def _run_bench(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         queries=args.queries,
         overload_attempts=args.overload_attempts,
+        telemetry=NOOP if args.telemetry == "off" else None,
     )
     print(result.to_table())
     if args.output:

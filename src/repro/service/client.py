@@ -29,6 +29,7 @@ from repro.errors import (
     ServiceError,
     ServiceUnavailableError,
 )
+from repro.obs.telemetry import NOOP, Telemetry
 from repro.service import protocol
 
 
@@ -48,6 +49,10 @@ class QuantileClient:
         Base backoff; attempt *i* sleeps ``backoff_ms * 2**i``.
     sleep:
         Injectable sleeper (seconds), defaulting to :func:`time.sleep`.
+    telemetry:
+        Observability sink (:mod:`repro.obs`); the retry loop reports
+        ``client.transport_retries`` and ``client.backoff_total_ms``
+        counters through it.  Defaults to the disabled no-op.
     """
 
     def __init__(
@@ -58,12 +63,14 @@ class QuantileClient:
         retries: int = 3,
         backoff_ms: float = 50.0,
         sleep: Callable[[float], None] = time.sleep,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._address = (host, int(port))
         self._timeout = float(timeout)
         self._retries = int(retries)
         self._backoff_ms = float(backoff_ms)
         self._sleep = sleep
+        self.telemetry = telemetry if telemetry is not None else NOOP
         self._sock: socket.socket | None = None
         self._rfile: Any = None
         self._wfile: Any = None
@@ -112,9 +119,12 @@ class QuantileClient:
         last_error: Exception | None = None
         for attempt in range(self._retries + 1):
             if attempt:
-                self._sleep(
-                    self._backoff_ms * (2 ** (attempt - 1)) / 1000.0
+                backoff_ms = self._backoff_ms * (2 ** (attempt - 1))
+                self.telemetry.counter("client.transport_retries").inc()
+                self.telemetry.counter("client.backoff_total_ms").inc(
+                    int(backoff_ms)
                 )
+                self._sleep(backoff_ms / 1000.0)
             try:
                 self.connect()
                 protocol.write_frame(self._wfile, request)

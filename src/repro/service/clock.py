@@ -33,6 +33,21 @@ class SystemClock(Clock):
         return time.time() * 1000.0
 
 
+class MonotonicClock(Clock):
+    """Monotonic clock for interval measurement.
+
+    ``now_ms`` readings never go backwards and are unaffected by wall
+    clock adjustments, so differences between two readings are safe to
+    treat as durations — this is the clock the observability layer
+    (:mod:`repro.obs`) injects into tracers and latency histograms.
+    The origin is arbitrary: readings are only meaningful relative to
+    each other, never as epoch timestamps.
+    """
+
+    def now_ms(self) -> float:
+        return time.perf_counter() * 1000.0
+
+
 class ManualClock(Clock):
     """A clock that only moves when told to.
 

@@ -12,15 +12,70 @@ Requests are objects with an ``"op"`` field; responses always carry
 ``{"ok": false, "error": <code>, "message": ...}`` and keeps the
 connection open, with ``"overloaded"`` as the explicit load-shedding
 code (``"shed": true``) a client must not blindly retry.
+
+Non-finite floats
+-----------------
+Bare ``Infinity``/``NaN`` tokens are a Python ``json`` extension, not
+valid JSON — emitting them breaks every strict cross-language client.
+The codec therefore transports non-finite floats as explicit sentinel
+objects, ``{"$float": "inf" | "-inf" | "nan"}``, encoded on the way out
+and restored to real floats on the way in.  This keeps legitimate
+payloads like ``rank(metric, inf)`` or an empty sketch's ``_min=inf``
+on the wire while the body stays strict JSON (``allow_nan=False`` is
+the enforcement backstop).  Real payloads can never collide with the
+sentinel: a one-key ``{"$float": <str>}`` mapping is reserved.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import struct
 from typing import Any, BinaryIO
 
 from repro.errors import ProtocolError
+
+#: Reserved key marking a non-finite float sentinel object.
+FLOAT_SENTINEL_KEY = "$float"
+
+_FLOAT_ENCODE = {math.inf: "inf", -math.inf: "-inf"}
+_FLOAT_DECODE = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
+
+
+def _sanitize(value: Any) -> Any:
+    """Replace non-finite floats with sentinel objects, recursively."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return {FLOAT_SENTINEL_KEY: "nan"}
+        return {FLOAT_SENTINEL_KEY: _FLOAT_ENCODE[value]}
+    if isinstance(value, dict):
+        if FLOAT_SENTINEL_KEY in value:
+            raise ProtocolError(
+                f"payload object uses the reserved key "
+                f"{FLOAT_SENTINEL_KEY!r}"
+            )
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    return value
+
+
+def _restore(value: Any) -> Any:
+    """Inverse of :func:`_sanitize`: sentinel objects back to floats."""
+    if isinstance(value, dict):
+        if set(value) == {FLOAT_SENTINEL_KEY}:
+            name = value[FLOAT_SENTINEL_KEY]
+            try:
+                return _FLOAT_DECODE[name]
+            except KeyError:
+                raise ProtocolError(
+                    f"unknown float sentinel {name!r}; expected one of "
+                    f"{sorted(_FLOAT_DECODE)}"
+                ) from None
+        return {key: _restore(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_restore(item) for item in value]
+    return value
 
 #: Hard ceiling on one frame's body, protecting both sides from a
 #: corrupt or hostile length prefix.
@@ -33,10 +88,15 @@ OVERLOADED = "overloaded"
 
 
 def encode_message(payload: dict[str, Any]) -> bytes:
-    """Canonical JSON bytes for *payload* (sorted keys, no whitespace)."""
+    """Canonical JSON bytes for *payload* (sorted keys, no whitespace).
+
+    Non-finite floats are transported as sentinel objects (see the
+    module docstring); ``allow_nan=False`` guarantees no bare
+    ``Infinity``/``NaN`` token can ever reach the wire.
+    """
     try:
         body = json.dumps(
-            payload, sort_keys=True, separators=(",", ":"),
+            _sanitize(payload), sort_keys=True, separators=(",", ":"),
             allow_nan=False,
         )
     except (TypeError, ValueError) as exc:
@@ -56,7 +116,11 @@ def encode_frame(payload: dict[str, Any]) -> bytes:
 
 
 def decode_message(body: bytes) -> dict[str, Any]:
-    """Parse one frame body back into a message object."""
+    """Parse one frame body back into a message object.
+
+    Float sentinel objects are restored to real non-finite floats, so
+    ``decode_message(encode_message(p)) == p`` for any encodable *p*.
+    """
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -66,7 +130,7 @@ def decode_message(body: bytes) -> dict[str, Any]:
             f"frame body must be a JSON object, got "
             f"{type(payload).__name__}"
         )
-    return payload
+    return _restore(payload)
 
 
 def write_frame(stream: BinaryIO, payload: dict[str, Any]) -> None:

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.base import QuantileSketch
 from repro.core.registry import DEFAULT_SEED, paper_config
 from repro.errors import InvalidValueError
+from repro.obs.telemetry import NOOP, Telemetry
 from repro.parallel.sharded import ShardedSketch
 from repro.service.clock import Clock, SystemClock
 from repro.service.store import TimePartitionedStore
@@ -88,6 +89,9 @@ class MetricRegistry:
         :class:`~repro.parallel.ShardedSketch` with *n_shards* shards.
     n_shards:
         Shard count for hot metrics.
+    telemetry:
+        Observability sink (:mod:`repro.obs`), shared by every store
+        this registry creates.  Defaults to the disabled no-op.
     """
 
     def __init__(
@@ -100,6 +104,7 @@ class MetricRegistry:
         coarse_partitions: int = 24,
         hot_metrics: Iterable[str] = (),
         n_shards: int = 4,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._base_factory = (
             sketch_factory
@@ -113,6 +118,7 @@ class MetricRegistry:
         self.coarse_partitions = int(coarse_partitions)
         self.hot_metrics = frozenset(hot_metrics)
         self.n_shards = int(n_shards)
+        self.telemetry = telemetry if telemetry is not None else NOOP
         self._stores: dict[MetricKey, TimePartitionedStore] = {}
         self._lock = threading.Lock()
 
@@ -142,6 +148,7 @@ class MetricRegistry:
                     fine_partitions=self.fine_partitions,
                     coarse_factor=self.coarse_factor,
                     coarse_partitions=self.coarse_partitions,
+                    telemetry=self.telemetry,
                 )
                 self._stores[key] = store
             return store

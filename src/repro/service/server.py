@@ -37,6 +37,7 @@ from repro.errors import (
     ProtocolError,
     ReproError,
 )
+from repro.obs.telemetry import Telemetry
 from repro.service import protocol
 from repro.service.clock import Clock, SystemClock
 from repro.service.registry import MetricRegistry
@@ -119,6 +120,13 @@ class QuantileServer:
         Threads draining the ingest queue into the registry.
     clock:
         Time source for a default-constructed registry.
+    telemetry:
+        Observability sink (:mod:`repro.obs`).  Defaults to a fresh
+        enabled :class:`~repro.obs.telemetry.Telemetry`; pass
+        :data:`repro.obs.NOOP` (or one built with ``enabled=False``)
+        to turn instrumentation off.  A default-constructed registry
+        shares this instance, so store-level cache counters land in
+        the same snapshot as the server's op spans.
     """
 
     def __init__(
@@ -129,6 +137,7 @@ class QuantileServer:
         ingest_queue_size: int = 4096,
         ingest_workers: int = 1,
         clock: Clock | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if ingest_queue_size < 1:
             raise InvalidValueError(
@@ -140,8 +149,11 @@ class QuantileServer:
                 f"ingest_workers must be >= 1, got {ingest_workers!r}"
             )
         clock = clock if clock is not None else SystemClock()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.registry = (
-            registry if registry is not None else MetricRegistry(clock=clock)
+            registry
+            if registry is not None
+            else MetricRegistry(clock=clock, telemetry=self.telemetry)
         )
         self.stats = ServerStats()
         self._host = host
@@ -243,9 +255,10 @@ class QuantileServer:
                 self._drain_gate.wait()
                 name, tags, values, timestamp_ms = item
                 try:
-                    accepted = self.registry.record(
-                        name, values, timestamp_ms, tags
-                    )
+                    with self.telemetry.span("server.drain_batch"):
+                        accepted = self.registry.record(
+                            name, values, timestamp_ms, tags
+                        )
                     self.stats.incr("ingested_values", accepted)
                 except ReproError:
                     # A poisoned batch must not kill the drain thread;
@@ -253,6 +266,9 @@ class QuantileServer:
                     self.stats.incr("error_responses")
             finally:
                 self._queue.task_done()
+                self.telemetry.gauge("server.ingest_queue_depth").set(
+                    self._queue.qsize()
+                )
 
     # ------------------------------------------------------------------
     # Request dispatch
@@ -271,7 +287,10 @@ class QuantileServer:
                 f"{sorted(self._OPS)}",
             )
         try:
-            return handler(self, request)
+            # The span lands the handler's latency in the self-hosted
+            # histogram "span.server.op.<op>" (see repro.obs).
+            with self.telemetry.span(f"server.op.{op}"):
+                return handler(self, request)
         except EmptySketchError as exc:
             self.stats.incr("error_responses")
             return protocol.error("empty", str(exc))
@@ -309,10 +328,14 @@ class QuantileServer:
             self._queue.put_nowait((name, tags, values, timestamp_ms))
         except queue.Full:
             self.stats.incr("shed_requests")
+            self.telemetry.counter("server.shed_requests").inc()
             return protocol.shed(
                 f"ingest queue full ({self._queue.maxsize} batches); "
                 f"request shed"
             )
+        self.telemetry.gauge("server.ingest_queue_depth").set(
+            self._queue.qsize()
+        )
         return protocol.ok(accepted=len(values))
 
     def _op_flush(self, request: dict[str, Any]) -> dict[str, Any]:

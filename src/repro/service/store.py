@@ -45,6 +45,7 @@ from repro.errors import (
     InvalidValueError,
     SerializationError,
 )
+from repro.obs.telemetry import NOOP, Telemetry
 from repro.parallel.sharded import ShardedSketch
 from repro.service.clock import Clock, SystemClock
 
@@ -83,6 +84,10 @@ class TimePartitionedStore:
     coarse_partitions:
         Coarse horizon, in coarse partitions; data older than this is
         dropped entirely.
+    telemetry:
+        Observability sink (:mod:`repro.obs`); the merged-view cache
+        reports ``store.view_cache_hit`` / ``store.view_cache_miss``
+        counters through it.  Defaults to the disabled no-op instance.
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class TimePartitionedStore:
         fine_partitions: int = 60,
         coarse_factor: int = 8,
         coarse_partitions: int = 24,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if partition_ms <= 0:
             raise InvalidValueError(
@@ -108,6 +114,7 @@ class TimePartitionedStore:
             )
         self._factory = sketch_factory
         self._clock = clock if clock is not None else SystemClock()
+        self.telemetry = telemetry if telemetry is not None else NOOP
         self.partition_ms = float(partition_ms)
         self.fine_partitions = int(fine_partitions)
         self.coarse_factor = int(coarse_factor)
@@ -285,7 +292,9 @@ class TimePartitionedStore:
         with self._lock:
             key = (self._version, float(lo_q), float(hi_q))
             if self._cached_view is not None and self._cached_key == key:
+                self.telemetry.counter("store.view_cache_hit").inc()
                 return self._cached_view
+            self.telemetry.counter("store.view_cache_miss").inc()
             view = self._view_factory()
             sources = list(
                 self._covered(self._coarse, self.coarse_ms, lo, hi)
@@ -450,6 +459,7 @@ class TimePartitionedStore:
         data: bytes,
         sketch_factory: Callable[[], QuantileSketch],
         clock: Clock | None = None,
+        telemetry: Telemetry | None = None,
     ) -> "TimePartitionedStore":
         """Rebuild a store from :meth:`snapshot` bytes.
 
@@ -471,6 +481,7 @@ class TimePartitionedStore:
         store = cls(
             sketch_factory,
             clock=clock,
+            telemetry=telemetry,
             partition_ms=header["partition_ms"],
             fine_partitions=header["fine_partitions"],
             coarse_factor=header["coarse_factor"],

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.data.streams import EventBatch
 from repro.errors import PipelineError
+from repro.obs.telemetry import NOOP, Telemetry
 from repro.streaming.events import Event, events_from_batch
 from repro.streaming.operators import AggregateFunction
 from repro.streaming.time import (
@@ -169,6 +170,8 @@ class WindowedStream:
         allowed_lateness_ms: float = 0.0,
         collect_late: bool = False,
         time_characteristic: str = "event",
+        *,
+        telemetry: Telemetry | None = None,
     ) -> ExecutionReport:
         """Run the pipeline and fire every window.
 
@@ -184,6 +187,11 @@ class WindowedStream:
         groups by arrival time, which is trivially in order, so nothing
         is ever late — but windows no longer reflect when events
         actually happened.
+
+        *telemetry* (keyword-only) is an optional :mod:`repro.obs`
+        sink: each pane firing is timed under the
+        ``streaming.window_emit`` span and counted in
+        ``streaming.windows_emitted``.
         """
         if aggregator is None:
             raise PipelineError("window aggregation needs an aggregator")
@@ -193,6 +201,7 @@ class WindowedStream:
                 f"expected 'event' or 'ingestion'"
             )
         use_ingestion = time_characteristic == "ingestion"
+        telemetry = telemetry if telemetry is not None else NOOP
         watermarks = watermarks or AscendingTimestampsWatermarks()
         merging = isinstance(self._assigner, SessionWindows)
         report = ExecutionReport()
@@ -212,7 +221,10 @@ class WindowedStream:
         def fire_ready(watermark: float) -> None:
             while heap and heap[0][0] <= watermark:
                 _fire_time, _seq, key, window = heapq.heappop(heap)
-                self._emit(report, panes, counts, aggregator, key, window)
+                self._emit(
+                    report, panes, counts, aggregator, key, window,
+                    telemetry,
+                )
 
         for event in self._source():
             report.total_events += 1
@@ -243,7 +255,9 @@ class WindowedStream:
         # End of stream: flush everything still open, in end-time order.
         while heap:
             _fire_time, _seq, key, window = heapq.heappop(heap)
-            self._emit(report, panes, counts, aggregator, key, window)
+            self._emit(
+                report, panes, counts, aggregator, key, window, telemetry
+            )
         return report
 
     def _emit(
@@ -254,15 +268,19 @@ class WindowedStream:
         aggregator: AggregateFunction,
         key: Hashable,
         window: WindowSpan,
+        telemetry: Telemetry = NOOP,
     ) -> None:
         accumulator = panes.pop((key, window), None)
         if accumulator is None:  # stale heap entry from session merging
             return
+        with telemetry.span("streaming.window_emit"):
+            result = aggregator.get_result(accumulator)
+        telemetry.counter("streaming.windows_emitted").inc()
         report.results.append(
             WindowResult(
                 key=key,
                 window=window,
-                result=aggregator.get_result(accumulator),
+                result=result,
                 event_count=counts.pop((key, window)),
             )
         )
@@ -400,6 +418,8 @@ def run_tumbling_batch(
     out_of_orderness_ms: float = 0.0,
     allowed_lateness_ms: float = 0.0,
     parallelism: int = 1,
+    *,
+    telemetry: Telemetry | None = None,
 ) -> ExecutionReport:
     """Vectorised tumbling-window execution of a column batch.
 
@@ -422,6 +442,7 @@ def run_tumbling_batch(
     results are identical for order-insensitive aggregators and
     statistically equivalent for the randomized sketches.
     """
+    telemetry = telemetry if telemetry is not None else NOOP
     ordered, window_ids, late = tumbling_assignment(
         batch, window_size_ms, out_of_orderness_ms, allowed_lateness_ms
     )
@@ -441,22 +462,27 @@ def run_tumbling_batch(
     kept_ids = window_ids[~late]
     for window_id in np.unique(kept_ids):
         values = kept_values[kept_ids == window_id]
-        if parallelism == 1:
-            accumulator = aggregator.create_accumulator()
-            accumulator = aggregator.add_batch(accumulator, values)
-        else:
-            # Scatter over task-local accumulators, then merge — the
-            # partition/pre-aggregate/combine plan of a parallel SPE.
-            partials = []
-            for task in range(parallelism):
-                partial = aggregator.create_accumulator()
-                partial = aggregator.add_batch(
-                    partial, values[task::parallelism]
-                )
-                partials.append(partial)
-            accumulator = partials[0]
-            for partial in partials[1:]:
-                accumulator = aggregator.merge(accumulator, partial)
+        # The span times one full pane firing — aggregate + result —
+        # landing in the "span.streaming.window_emit" histogram.
+        with telemetry.span("streaming.window_emit"):
+            if parallelism == 1:
+                accumulator = aggregator.create_accumulator()
+                accumulator = aggregator.add_batch(accumulator, values)
+            else:
+                # Scatter over task-local accumulators, then merge — the
+                # partition/pre-aggregate/combine plan of a parallel SPE.
+                partials = []
+                for task in range(parallelism):
+                    partial = aggregator.create_accumulator()
+                    partial = aggregator.add_batch(
+                        partial, values[task::parallelism]
+                    )
+                    partials.append(partial)
+                accumulator = partials[0]
+                for partial in partials[1:]:
+                    accumulator = aggregator.merge(accumulator, partial)
+            result = aggregator.get_result(accumulator)
+        telemetry.counter("streaming.windows_emitted").inc()
         span = WindowSpan(
             float(window_id) * window_size_ms,
             float(window_id + 1) * window_size_ms,
@@ -465,7 +491,7 @@ def run_tumbling_batch(
             WindowResult(
                 key=None,
                 window=span,
-                result=aggregator.get_result(accumulator),
+                result=result,
                 event_count=int(values.size),
             )
         )

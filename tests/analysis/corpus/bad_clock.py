@@ -1,0 +1,23 @@
+# module: repro.service.badhandler
+"""Known-bad: instrumented code reading the wall clock directly."""
+import time
+from time import monotonic, perf_counter as pc
+
+
+def handle_request(payload):
+    started = time.time()  # expect: OBS001
+    result = len(payload)
+    elapsed_ms = (time.time() - started) * 1000.0  # expect: OBS001
+    return result, elapsed_ms
+
+
+def measure_span():
+    start = pc()  # expect: OBS001
+    stop = monotonic()  # expect: OBS001
+    nanos = time.perf_counter_ns()  # expect: OBS001
+    return start, stop, nanos
+
+
+def polite_wait():
+    time.sleep(0.01)  # sleeping is not a clock *read*; stays legal
+    return True

@@ -1,0 +1,13 @@
+# module: repro.service.clock
+"""Known-good: the clock wrapper module itself is exempt from OBS001."""
+import time
+
+
+class SystemClock:
+    def now_ms(self):
+        return time.time() * 1000.0
+
+
+class MonotonicClock:
+    def now_ms(self):
+        return time.perf_counter() * 1000.0

@@ -1,0 +1,110 @@
+"""Registry-driven NaN rejection (the value-domain policy of base.py).
+
+NaN fails every ordered comparison, so a NaN that slipped into
+``_observe`` would advance ``_count`` while leaving ``_min``/``_max``
+untouched — rank/cdf bounds and serialization round-trips then disagree
+about the stream.  The policy is: NaN raises
+:class:`~repro.errors.InvalidValueError` from every ingestion path, and
+a rejected update/batch leaves the sketch exactly as it was.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.base import QuantileSketch
+from repro.core.registry import SKETCH_CLASSES, paper_config
+from repro.errors import InvalidValueError
+from repro.parallel import ShardedSketch
+
+ALL_SKETCHES = sorted(SKETCH_CLASSES)
+
+#: Valid for every sketch, DCS's bounded universe and HDR's positive
+#: trackable range included.
+FILL_VALUES = np.linspace(1.0, 50.0, 64)
+
+
+def _filled(name):
+    sketch = paper_config(name, seed=11)
+    sketch.update_batch(FILL_VALUES)
+    return sketch
+
+
+def _state(sketch):
+    return (sketch.count, sketch.min, sketch.max, sketch.quantile(0.5))
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+def test_update_nan_raises_and_leaves_state_unchanged(name):
+    sketch = _filled(name)
+    before = _state(sketch)
+    with pytest.raises(InvalidValueError):
+        sketch.update(math.nan)
+    assert _state(sketch) == before
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+def test_batch_with_nan_raises_and_count_is_unchanged(name):
+    sketch = _filled(name)
+    before_count = sketch.count
+    poisoned = np.array([7.0, math.nan, 9.0])
+    with pytest.raises(InvalidValueError):
+        sketch.update_batch(poisoned)
+    assert sketch.count == before_count
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+def test_update_nan_on_empty_sketch_stays_empty(name):
+    sketch = paper_config(name, seed=11)
+    with pytest.raises(InvalidValueError):
+        sketch.update(math.nan)
+    assert sketch.is_empty
+
+
+def test_observe_helpers_reject_nan_before_mutating():
+    # The bookkeeping backstop itself, independent of any concrete
+    # sketch's own validation.
+    class Minimal(QuantileSketch):
+        name = "minimal"
+
+        def update(self, value):
+            self._observe(value)
+
+        def merge(self, other):
+            self._merge_bookkeeping(other)
+
+        def quantile(self, q):
+            self._require_nonempty()
+            return self._min
+
+        def size_bytes(self):
+            return 0
+
+    sketch = Minimal()
+    with pytest.raises(InvalidValueError):
+        sketch.update(math.nan)
+    assert sketch.count == 0
+    with pytest.raises(InvalidValueError):
+        sketch._observe_batch(np.array([1.0, math.nan]))
+    assert sketch.count == 0
+    # ±inf orders correctly and is representable by the bookkeeping.
+    sketch._observe(math.inf)
+    assert sketch.count == 1 and sketch.max == math.inf
+
+
+def test_sharded_sketch_rejects_nan_batches_atomically():
+    sharded = ShardedSketch(
+        lambda: paper_config("kll", seed=11), n_shards=4
+    )
+    sharded.update_batch(FILL_VALUES)
+    before = (sharded.count, sharded.shard_counts())
+    with pytest.raises(InvalidValueError):
+        sharded.update_batch(np.array([1.0, math.nan, 2.0]))
+    with pytest.raises(InvalidValueError):
+        sharded.update_shard(0, np.array([math.nan]))
+    with pytest.raises(InvalidValueError):
+        sharded.update(math.nan)
+    assert (sharded.count, sharded.shard_counts()) == before

@@ -1,0 +1,97 @@
+"""Registry-driven rank/cdf boundary pinning.
+
+The default ``rank()`` inverts ``quantile()`` by bisection, which has
+numeric edges the per-sketch implementations must not expose: querying
+exactly at ``_min`` must acknowledge at least the minimum itself
+(``rank(_min) >= 1``), querying at or above ``_max`` must saturate
+(``rank(_max) == count`` and ``cdf(_max) == 1.0``), and rank must be
+monotone across duplicate runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.registry import SKETCH_CLASSES, paper_config
+from repro.parallel import ShardedSketch
+
+ALL_SKETCHES = sorted(SKETCH_CLASSES)
+
+#: Positive integers (HDR- and DCS-safe) with duplicate runs and >= 5
+#: distinct values (Moments needs a non-degenerate moment system).
+DATA = np.array(
+    [1.0, 2.0, 2.0, 2.0, 5.0, 9.0, 9.0, 12.0, 17.0, 17.0, 23.0],
+)
+
+
+def _filled(name):
+    sketch = paper_config(name, seed=11)
+    sketch.update_batch(DATA)
+    return sketch
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+class TestRankBoundaries:
+    def test_rank_at_min_is_at_least_one(self, name):
+        sketch = _filled(name)
+        assert sketch.rank(sketch.min) >= 1
+
+    def test_rank_below_min_is_zero(self, name):
+        sketch = _filled(name)
+        assert sketch.rank(sketch.min - 1.0) == 0
+        assert sketch.cdf(sketch.min - 1.0) == 0.0
+
+    def test_rank_at_and_above_max_saturates(self, name):
+        sketch = _filled(name)
+        assert sketch.rank(sketch.max) == sketch.count
+        assert sketch.rank(sketch.max + 1.0) == sketch.count
+
+    def test_cdf_at_max_is_exactly_one(self, name):
+        sketch = _filled(name)
+        assert sketch.cdf(sketch.max) == 1.0
+
+    def test_rank_between_duplicates_is_monotone_and_bounded(self, name):
+        sketch = _filled(name)
+        probes = [1.0, 2.0, 3.0, 5.0, 9.0, 10.0, 17.0, 23.0]
+        ranks = [sketch.rank(v) for v in probes]
+        for earlier, later in zip(ranks, ranks[1:]):
+            assert earlier <= later
+        for rank in ranks:
+            assert 0 <= rank <= sketch.count
+
+    def test_cdf_is_monotone_and_in_unit_interval(self, name):
+        sketch = _filled(name)
+        probes = [0.5, 1.0, 2.0, 9.0, 17.0, 23.0, 30.0]
+        cdfs = [sketch.cdf(v) for v in probes]
+        for earlier, later in zip(cdfs, cdfs[1:]):
+            assert earlier <= later
+        for value in cdfs:
+            assert 0.0 <= value <= 1.0
+
+    def test_rank_and_cdf_saturate_at_infinities(self, name):
+        # +/-inf are legal query arguments (the wire protocol carries
+        # them via sentinels); every implementation must saturate
+        # instead of e.g. flooring inf into an int.
+        sketch = _filled(name)
+        assert sketch.rank(float("inf")) == sketch.count
+        assert sketch.rank(float("-inf")) == 0
+        assert sketch.cdf(float("inf")) == 1.0
+        assert sketch.cdf(float("-inf")) == 0.0
+
+    def test_single_value_sketch_boundaries(self, name):
+        sketch = paper_config(name, seed=11)
+        sketch.update(7.0)
+        assert sketch.rank(7.0) == 1
+        assert sketch.cdf(7.0) == 1.0
+        assert sketch.rank(6.0) == 0
+
+
+def test_sharded_sketch_rank_boundaries():
+    sharded = ShardedSketch(
+        lambda: paper_config("kll", seed=11), n_shards=4
+    )
+    sharded.update_batch(DATA)
+    assert sharded.rank(sharded.min) >= 1
+    assert sharded.rank(sharded.max) == sharded.count
+    assert sharded.cdf(sharded.max) == 1.0

@@ -1,0 +1,83 @@
+"""Registry-driven self-merge semantics: ``s.merge(s)`` doubles s.
+
+Merging a sketch into itself used to iterate *other*'s internal state
+(KLL compactors, DDSketch stores, ...) while mutating the very same
+objects, corrupting the sketch; ``_merge_bookkeeping`` read the already
+doubled count.  The contract is now: ``s.merge(s)`` behaves exactly as
+merging an identical independent copy — the count doubles and quantile
+answers stay consistent with the doubled stream.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.registry import SKETCH_CLASSES, paper_config
+from repro.parallel import ShardedSketch
+
+ALL_SKETCHES = sorted(SKETCH_CLASSES)
+
+FILL_VALUES = np.linspace(1.0, 50.0, 128)
+
+QS = (0.1, 0.5, 0.9, 1.0)
+
+
+def _filled(name):
+    sketch = paper_config(name, seed=11)
+    sketch.update_batch(FILL_VALUES)
+    return sketch
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+def test_self_merge_equals_merging_an_identical_copy(name):
+    sketch = _filled(name)
+    reference = _filled(name)
+    reference.merge(copy.deepcopy(reference))
+    sketch.merge(sketch)
+    assert sketch.count == reference.count == 2 * len(FILL_VALUES)
+    assert sketch.min == reference.min
+    assert sketch.max == reference.max
+    for q, got, want in zip(
+        QS, sketch.quantiles(QS), reference.quantiles(QS)
+    ):
+        # Identical construction path -> identical answers, even for
+        # the randomized sketches (same seed, same operations).
+        assert got == want, f"q={q}"
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+def test_self_merge_keeps_quantiles_in_range(name):
+    sketch = _filled(name)
+    sketch.merge(sketch)
+    for value in sketch.quantiles(QS):
+        assert FILL_VALUES[0] <= value <= FILL_VALUES[-1]
+    # Doubling the stream leaves every distributional statement intact:
+    # the median of (S + S) is the median of S, within sketch error.
+    assert abs(sketch.quantile(0.5) - 25.5) < 5.0
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+def test_repeated_self_merge_stays_consistent(name):
+    sketch = _filled(name)
+    sketch.merge(sketch)
+    sketch.merge(sketch)
+    assert sketch.count == 4 * len(FILL_VALUES)
+    assert sketch.rank(sketch.max) == sketch.count
+    assert sketch.cdf(sketch.max) == 1.0
+
+
+def test_sharded_self_merge_doubles_through_the_merged_view():
+    sharded = ShardedSketch(
+        lambda: paper_config("kll", seed=11), n_shards=4
+    )
+    sharded.update_batch(FILL_VALUES)
+    before_q = sharded.quantile(0.5)
+    sharded.merge(sharded)
+    assert sharded.count == 2 * len(FILL_VALUES)
+    assert sum(sharded.shard_counts()) == sharded.count
+    assert abs(sharded.quantile(0.5) - before_q) < 5.0
+    assert sharded.min == FILL_VALUES[0]
+    assert sharded.max == FILL_VALUES[-1]

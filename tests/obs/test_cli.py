@@ -1,0 +1,97 @@
+"""``python -m repro.obs`` CLI: dump and diff snapshot files."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.export import diff_snapshots, to_canonical_json
+
+
+@pytest.fixture()
+def snapshot_file(tmp_path):
+    snapshot = {
+        "enabled": True,
+        "counters": {"server.shed_requests": 2},
+        "gauges": {"server.ingest_queue_depth": 5.0},
+        "histograms": {
+            "span.server.op.quantile": {
+                "unit": "us", "count": 3, "min": 10.0, "max": 30.0,
+                "p50": 20.0, "p90": 29.0, "p99": 30.0,
+            },
+        },
+    }
+    path = tmp_path / "snapshot.json"
+    path.write_text(to_canonical_json(snapshot) + "\n")
+    return path, snapshot
+
+
+class TestDump:
+    def test_table_is_the_default(self, snapshot_file, capsys):
+        path, _ = snapshot_file
+        assert main(["dump", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "server.shed_requests" in out
+        assert "histograms (us):" in out
+        assert "count=3" in out
+
+    def test_json_format_re_emits_canonically(self, snapshot_file, capsys):
+        path, snapshot = snapshot_file
+        assert main(["dump", str(path), "--format", "json"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == to_canonical_json(snapshot)
+        assert json.loads(out) == snapshot
+
+    def test_prom_format(self, snapshot_file, capsys):
+        path, _ = snapshot_file
+        assert main(["dump", str(path), "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "server_shed_requests 2" in out
+        assert "span_server_op_quantile_us_count 3" in out
+
+
+class TestDiff:
+    def test_diff_matches_the_library_function(
+        self, snapshot_file, tmp_path, capsys
+    ):
+        path, snapshot = snapshot_file
+        later = json.loads(json.dumps(snapshot))
+        later["counters"]["server.shed_requests"] = 7
+        later["histograms"]["span.server.op.quantile"]["count"] = 10
+        after = tmp_path / "after.json"
+        after.write_text(to_canonical_json(later) + "\n")
+        assert main(["diff", str(path), str(after)]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == to_canonical_json(diff_snapshots(snapshot, later))
+        decoded = json.loads(out)
+        assert decoded["counters"]["server.shed_requests"] == 5
+        assert decoded["histograms"]["span.server.op.quantile"][
+            "count_delta"
+        ] == 7
+
+
+class TestErrors:
+    def test_missing_file_exits_nonzero_with_stderr(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["dump", str(missing)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_object_snapshot_rejected(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[1,2,3]\n")
+        assert main(["dump", str(path)]) == 1
+        assert "not a JSON object" in capsys.readouterr().err
+
+
+def test_module_entrypoint_runs(snapshot_file):
+    path, _ = snapshot_file
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.obs", "dump", str(path)],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0
+    assert "server.shed_requests" in result.stdout

@@ -1,0 +1,108 @@
+"""Unit tests for the metric primitives (counter, gauge, histogram)."""
+
+import threading
+
+import pytest
+
+from repro.errors import EmptySketchError
+from repro.obs.metrics import (
+    NOOP_COUNTER,
+    NOOP_GAUGE,
+    NOOP_HISTOGRAM,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    _percentile_label,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("requests")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        assert counter.name == "requests"
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = Counter("c")
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_overwrites_and_add_adjusts(self):
+        gauge = Gauge("depth")
+        assert gauge.value == 0.0
+        gauge.set(12.5)
+        assert gauge.value == 12.5
+        gauge.add(-2.5)
+        assert gauge.value == 10.0
+
+
+class TestLatencyHistogram:
+    def test_percentiles_come_from_the_self_hosted_ddsketch(self):
+        histogram = LatencyHistogram("op")
+        for micros in range(1, 1001):
+            histogram.record_us(float(micros))
+        assert histogram.count == 1000
+        # DDSketch's relative-error guarantee: within 1% of truth.
+        assert histogram.quantile(0.5) == pytest.approx(500.0, rel=0.02)
+        p50, p99 = histogram.quantiles((0.5, 0.99))
+        assert p50 == pytest.approx(500.0, rel=0.02)
+        assert p99 == pytest.approx(990.0, rel=0.02)
+
+    def test_negative_samples_clamp_to_zero(self):
+        histogram = LatencyHistogram("op")
+        histogram.record_us(-5.0)
+        assert histogram.count == 1
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_empty_summary_is_just_a_zero_count(self):
+        # No min=inf/max=-inf may ever reach an exporter.
+        assert LatencyHistogram("op").summary() == {"count": 0}
+
+    def test_summary_reports_count_bounds_and_percentiles(self):
+        histogram = LatencyHistogram("op")
+        for micros in (10.0, 20.0, 30.0):
+            histogram.record_us(micros)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 10.0
+        assert summary["max"] == 30.0
+        assert set(summary) == {"count", "min", "max", "p50", "p90", "p99"}
+
+
+class TestPercentileLabel:
+    @pytest.mark.parametrize(
+        "q,label",
+        [(0.5, "50"), (0.9, "90"), (0.99, "99"), (0.999, "99.9")],
+    )
+    def test_labels(self, q, label):
+        assert _percentile_label(q) == label
+
+
+class TestNoopInstruments:
+    def test_noop_counter_and_gauge_swallow_everything(self):
+        NOOP_COUNTER.inc(100)
+        assert NOOP_COUNTER.value == 0
+        NOOP_GAUGE.set(5.0)
+        NOOP_GAUGE.add(1.0)
+        assert NOOP_GAUGE.value == 0.0
+
+    def test_noop_histogram_records_nothing_and_refuses_quantiles(self):
+        NOOP_HISTOGRAM.record_us(10.0)
+        assert NOOP_HISTOGRAM.count == 0
+        assert NOOP_HISTOGRAM.summary() == {"count": 0}
+        with pytest.raises(EmptySketchError):
+            NOOP_HISTOGRAM.quantile(0.5)

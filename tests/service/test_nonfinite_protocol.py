@@ -1,0 +1,87 @@
+"""Non-finite floats over a live TCP connection.
+
+``rank(metric, inf)`` and ``cdf(metric, -inf)`` are legitimate queries
+(saturate high / saturate low), but bare ``Infinity`` tokens are not
+valid JSON — the wire codec transports them as ``{"$float": ...}``
+sentinel objects.  These tests drive real sockets end to end so a
+regression in either direction of the sentinel translation (client
+encode, server decode, and back) fails loudly.
+"""
+
+import math
+
+import pytest
+
+from repro.core import DDSketch
+from repro.errors import ServiceError
+from repro.service import (
+    ManualClock,
+    MetricRegistry,
+    QuantileClient,
+    QuantileServer,
+)
+
+
+@pytest.fixture()
+def server():
+    clock = ManualClock(0.0)
+    registry = MetricRegistry(
+        sketch_factory=lambda: DDSketch(alpha=0.01),
+        clock=clock,
+        partition_ms=1_000.0,
+        fine_partitions=100_000,
+    )
+    with QuantileServer(registry) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with QuantileClient(host, port, timeout=5.0, retries=0) as cli:
+        yield cli
+
+
+class TestNonFiniteQueries:
+    def test_rank_at_infinities_saturates(self, client):
+        client.ingest("lat", [1.0, 2.0, 3.0], timestamp_ms=0.0)
+        client.flush()
+        assert client.rank("lat", math.inf) == 3
+        assert client.rank("lat", -math.inf) == 0
+
+    def test_cdf_at_infinities_saturates(self, client):
+        client.ingest("lat", [1.0, 2.0, 3.0], timestamp_ms=0.0)
+        client.flush()
+        assert client.cdf("lat", math.inf) == 1.0
+        assert client.cdf("lat", -math.inf) == 0.0
+
+    def test_single_value_sketch_round_trips(self, client):
+        client.ingest("one", [7.0], timestamp_ms=0.0)
+        client.flush()
+        assert client.count("one") == 1
+        assert client.quantile("one", 0.5) == pytest.approx(7.0, rel=0.02)
+        assert client.rank("one", math.inf) == 1
+        assert client.cdf("one", -math.inf) == 0.0
+
+    def test_empty_window_query_is_a_clean_error_not_a_codec_crash(
+        self, client
+    ):
+        # A time window with no retained data surfaces the sketch-level
+        # "empty" condition as a structured error response; the frame
+        # carrying it must stay strict JSON even though the underlying
+        # sketch bookkeeping holds _min=+inf/_max=-inf.
+        client.ingest("lat", [1.0], timestamp_ms=0.0)
+        client.flush()
+        with pytest.raises(ServiceError, match="empty"):
+            client.quantile("lat", 0.5, t0=50_000.0, t1=60_000.0)
+        # The connection survives the error: data is still queryable.
+        assert client.count("lat") == 1
+
+    def test_nan_query_value_is_rejected_not_smuggled(self, client):
+        # NaN encodes and decodes faithfully, and then fails sketch
+        # validation server-side — the error comes back as data.
+        client.ingest("lat", [1.0, 2.0], timestamp_ms=0.0)
+        client.flush()
+        with pytest.raises(ServiceError):
+            client.rank("lat", math.nan)
+        assert client.ping() is True

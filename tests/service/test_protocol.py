@@ -26,11 +26,41 @@ class TestEncoding:
         assert a == b
         assert a == b'{"a":2,"b":1}'  # sorted keys, no whitespace
 
-    def test_nan_rejected(self):
+    def test_nonfinite_floats_use_sentinels_not_bare_tokens(self):
+        # Bare Infinity/NaN are invalid JSON; the codec must emit the
+        # documented sentinel objects instead.
+        body = protocol.encode_message({"value": math.inf})
+        assert body == b'{"value":{"$float":"inf"}}'
+        for token in (b"Infinity", b"NaN"):
+            assert token not in protocol.encode_message(
+                {"a": math.inf, "b": -math.inf, "c": math.nan}
+            )
+
+    def test_nonfinite_floats_round_trip(self):
+        payload = {
+            "lo": -math.inf,
+            "hi": math.inf,
+            "values": [1.0, math.inf, [-math.inf]],
+            "nested": {"deep": math.inf},
+        }
+        decoded = round_trip(payload)
+        assert decoded["lo"] == -math.inf
+        assert decoded["hi"] == math.inf
+        assert decoded["values"][1] == math.inf
+        assert decoded["values"][2] == [-math.inf]
+        assert decoded["nested"]["deep"] == math.inf
+        nan = protocol.decode_message(
+            protocol.encode_message({"x": math.nan})
+        )["x"]
+        assert isinstance(nan, float) and math.isnan(nan)
+
+    def test_reserved_sentinel_key_rejected_in_payloads(self):
         with pytest.raises(ProtocolError):
-            protocol.encode_message({"value": math.nan})
+            protocol.encode_message({"v": {"$float": "bogus"}})
+
+    def test_unknown_sentinel_name_rejected_on_decode(self):
         with pytest.raises(ProtocolError):
-            protocol.encode_message({"value": math.inf})
+            protocol.decode_message(b'{"v":{"$float":"huge"}}')
 
     def test_unencodable_payload_rejected(self):
         with pytest.raises(ProtocolError):
