@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
 .PHONY: help test-fast test-all lint analysis typecheck bench-parallel \
-	serve bench-service obs-bench
+	serve bench-service obs-bench durability-bench crash-test
 
 help:
 	@echo "Targets:"
@@ -15,6 +15,8 @@ help:
 	@echo "  serve          run the quantile service TCP server (port 7107)"
 	@echo "  bench-service  quantile-service ingest/query/overload benchmark"
 	@echo "  obs-bench      observability overhead benchmark (<5% disabled gate)"
+	@echo "  durability-bench WAL/checkpoint cost benchmark (<5% durability-off gate)"
+	@echo "  crash-test     crash-consistency sweep + SIGKILL process smoke"
 
 # Tier-1 gate: everything except tests marked `slow` (pyproject's
 # addopts already applies -m 'not slow').
@@ -58,3 +60,16 @@ bench-service:
 # uninstrumented baseline. Writes snapshot exports with --output.
 obs-bench:
 	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_obs_overhead.py $(OBS_BENCH_ARGS)
+
+# Proves the durability layer's cost contract: the server-shaped ingest
+# loop with durability off stays within 5% of the raw registry loop.
+# Also reports per-FlushPolicy WAL costs and checkpoint/recovery
+# latency. Writes durability_bench.json with --output.
+durability-bench:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_durability.py $(DURABILITY_BENCH_ARGS)
+
+# The crash-consistency gate: the in-process fault sweep (a simulated
+# crash at every WAL record boundary and mid-checkpoint) plus the
+# SIGKILL-a-real-process smoke test.
+crash-test:
+	$(PYTEST) -q tests/durability -m "slow or not slow"

@@ -1,0 +1,298 @@
+"""Durability cost benchmark — the <5% durability-off contract.
+
+The durability layer (:mod:`repro.durability`) touches the server's
+ingest hot path in exactly one place: an ``if self.durability is not
+None`` branch plus the ``now_ms`` plumbing that pins replay decisions.
+This benchmark gates that bargain: with durability **off** the ingest
+loop must stay within 5% of the pre-durability baseline.  The journaled
+costs are measured and reported, not gated — an fsync per batch has a
+real price, and the interesting number is the per-policy spread:
+
+* ``baseline`` — the raw registry ingest loop, no durability code;
+* ``durability-off`` — the server-shaped loop with the manager absent
+  (the branch everyone pays, the contract under test);
+* ``wal-os`` / ``wal-batch`` / ``wal-always`` — journal-before-apply
+  under each :class:`~repro.durability.FlushPolicy`, weakest to
+  strongest durability;
+
+plus two one-shot latencies: ``checkpoint_seconds`` (snapshot + WAL
+truncation of the filled registry) and ``recovery_seconds`` (cold
+rebuild of the same registry from checkpoint + WAL suffix).
+
+Timing follows the Fig 5 discipline: variants interleave inside each
+repeat and the best run is compared.  With ``--output DIR`` it writes
+``durability_bench.json`` (the CI artifact).
+
+Run standalone with ``python benchmarks/bench_durability.py
+[--events N] [--output DIR]`` or through pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.durability import DurabilityManager, FlushPolicy
+from repro.experiments.config import BASE_SEED, current_scale
+from repro.service.clock import ManualClock
+from repro.service.registry import MetricRegistry
+
+#: Values per ingest batch — matches the service benchmark's batching.
+BATCH_SIZE = 1_000
+
+#: Durability-off overhead ceiling (fraction of baseline).
+MAX_OFF_OVERHEAD = 0.05
+
+#: Timing repeats; the best run of each variant is compared.
+DEFAULT_REPEATS = 5
+
+#: Floor on the measured stream length: a sub-5% comparison needs
+#: enough batches that scheduler noise stays below the gated bound.
+MIN_EVENTS = 100_000
+
+#: Flush policies measured for the journaled variants.
+POLICIES = ("os", "batch", "always")
+
+
+def _make_batches(events: int, seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    values = rng.lognormal(mean=4.6, sigma=0.5, size=events)
+    return [
+        values[start : start + BATCH_SIZE]
+        for start in range(0, events, BATCH_SIZE)
+    ]
+
+
+def _fresh_registry() -> tuple[MetricRegistry, ManualClock]:
+    clock = ManualClock(1_000_000.0)
+    return MetricRegistry(clock=clock), clock
+
+
+def _run_baseline(batches: list[np.ndarray]) -> float:
+    """Pre-durability reference: the raw registry ingest loop."""
+    registry, clock = _fresh_registry()
+    start = time.perf_counter()
+    for batch in batches:
+        registry.record("lat", batch, clock.now_ms(), None)
+        clock.advance(1.0)
+    return time.perf_counter() - start
+
+
+def _run_server_shaped(
+    batches: list[np.ndarray], manager: DurabilityManager | None
+) -> float:
+    """The server's ingest decision replicated per batch.
+
+    Mirrors ``QuantileServer._op_ingest``: branch on the manager,
+    journal before apply when present, thread ``now_ms`` through.
+    """
+    registry, clock = _fresh_registry()
+    start = time.perf_counter()
+    for batch in batches:
+        if manager is not None:
+            values = batch.tolist()  # the wire codec's value shape
+            _seq, ts, now = manager.journal("lat", None, values, None)
+            registry.record("lat", values, ts, None, now_ms=now)
+        else:
+            registry.record(
+                "lat", batch, clock.now_ms(), None, now_ms=None
+            )
+        clock.advance(1.0)
+    return time.perf_counter() - start
+
+
+def _journaled_run(
+    batches: list[np.ndarray], data_dir: Path, policy: str
+) -> float:
+    shutil.rmtree(data_dir, ignore_errors=True)
+    manager = DurabilityManager(
+        data_dir,
+        clock=ManualClock(1_000_000.0),
+        flush_policy=FlushPolicy(mode=policy),
+        checkpoint_interval_ms=0.0,
+    )
+    manager.wal.open()
+    try:
+        return _run_server_shaped(batches, manager)
+    finally:
+        manager.close()
+
+
+def _checkpoint_and_recovery(
+    batches: list[np.ndarray], data_dir: Path
+) -> tuple[float, float]:
+    """One-shot checkpoint latency, then cold recovery latency."""
+    shutil.rmtree(data_dir, ignore_errors=True)
+    clock = ManualClock(1_000_000.0)
+    manager = DurabilityManager(
+        data_dir,
+        clock=clock,
+        flush_policy=FlushPolicy(mode="os"),
+        checkpoint_interval_ms=0.0,
+    )
+    manager.wal.open()
+    registry = MetricRegistry(clock=clock)
+    half = len(batches) // 2
+    for batch in batches[:half]:
+        values = batch.tolist()
+        _seq, ts, now = manager.journal("lat", None, values, None)
+        registry.record("lat", values, ts, None, now_ms=now)
+        clock.advance(1.0)
+    start = time.perf_counter()
+    manager.checkpoint_now(registry)
+    checkpoint_seconds = time.perf_counter() - start
+    # Leave a WAL suffix so recovery exercises both halves of its job.
+    for batch in batches[half:]:
+        values = batch.tolist()
+        _seq, ts, now = manager.journal("lat", None, values, None)
+        registry.record("lat", values, ts, None, now_ms=now)
+        clock.advance(1.0)
+    manager.close()
+
+    fresh = DurabilityManager(data_dir, clock=ManualClock(clock.now_ms()))
+    target = MetricRegistry(clock=ManualClock(clock.now_ms()))
+    start = time.perf_counter()
+    report = fresh.recover(target)
+    recovery_seconds = time.perf_counter() - start
+    fresh.close()
+    assert report.records_replayed == len(batches) - half
+    return checkpoint_seconds, recovery_seconds
+
+
+def measure(
+    events: int, repeats: int, seed: int, work_dir: Path
+) -> dict:
+    """Best-of-*repeats* seconds per variant, plus derived ratios."""
+    batches = _make_batches(events, seed)
+    baseline_runs: list[float] = []
+    off_runs: list[float] = []
+    policy_runs: dict[str, list[float]] = {p: [] for p in POLICIES}
+    # Interleave variants inside each repeat so a slow stretch of
+    # machine time penalises all of them equally.
+    for repeat in range(repeats):
+        baseline_runs.append(_run_baseline(batches))
+        off_runs.append(_run_server_shaped(batches, None))
+        for policy in POLICIES:
+            policy_runs[policy].append(
+                _journaled_run(
+                    batches, work_dir / f"wal-{policy}-{repeat}", policy
+                )
+            )
+    checkpoint_seconds, recovery_seconds = _checkpoint_and_recovery(
+        batches, work_dir / "ckpt"
+    )
+    baseline = min(baseline_runs)
+    off = min(off_runs)
+    result = {
+        "kind": "durability-bench",
+        "events": events,
+        "batch_size": BATCH_SIZE,
+        "repeats": repeats,
+        "baseline_seconds": baseline,
+        "durability_off_seconds": off,
+        "durability_off_overhead": off / baseline - 1.0,
+        "max_off_overhead": MAX_OFF_OVERHEAD,
+        "checkpoint_seconds": checkpoint_seconds,
+        "recovery_seconds": recovery_seconds,
+    }
+    for policy in POLICIES:
+        best = min(policy_runs[policy])
+        result[f"wal_{policy}_seconds"] = best
+        result[f"wal_{policy}_overhead"] = best / baseline - 1.0
+    return result
+
+
+def _check(result: dict) -> None:
+    assert result["baseline_seconds"] > 0
+    # The contract: running without durability costs under 5%.
+    assert result["durability_off_overhead"] < MAX_OFF_OVERHEAD, (
+        f"durability-off ingest overhead "
+        f"{result['durability_off_overhead']:.1%} exceeds the "
+        f"{MAX_OFF_OVERHEAD:.0%} ceiling"
+    )
+    # Stronger policies may not be *cheaper* than the weakest one by
+    # more than noise; mainly: all journaled runs actually ran.
+    for policy in POLICIES:
+        assert result[f"wal_{policy}_seconds"] > 0
+    assert result["checkpoint_seconds"] > 0
+    assert result["recovery_seconds"] > 0
+
+
+def bench_durability(
+    events: int | None = None,
+    repeats: int = DEFAULT_REPEATS,
+    output: Path | None = None,
+) -> dict:
+    events = int(
+        events if events is not None else current_scale().speed_points
+    )
+    events = max(events, MIN_EVENTS)
+    work_dir = Path(tempfile.mkdtemp(prefix="repro-durability-bench-"))
+    try:
+        result = measure(events, repeats, BASE_SEED, work_dir)
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
+    _check(result)
+    print(
+        f"durability cost over {events:,} events "
+        f"(batches of {BATCH_SIZE}, best of {repeats}):"
+    )
+    print(f"  baseline        {result['baseline_seconds'] * 1e3:9.2f} ms")
+    print(
+        f"  durability off  "
+        f"{result['durability_off_seconds'] * 1e3:9.2f} ms "
+        f"({result['durability_off_overhead']:+.2%})"
+    )
+    for policy in POLICIES:
+        print(
+            f"  wal {policy:<6}      "
+            f"{result[f'wal_{policy}_seconds'] * 1e3:9.2f} ms "
+            f"({result[f'wal_{policy}_overhead']:+.2%})"
+        )
+    print(
+        f"  checkpoint      {result['checkpoint_seconds'] * 1e3:9.2f} ms"
+    )
+    print(
+        f"  recovery        {result['recovery_seconds'] * 1e3:9.2f} ms"
+    )
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+        report = output / "durability_bench.json"
+        report.write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nwrote {report}")
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--events", type=int, default=None,
+        help="stream length (default: REPRO_SCALE's speed_points)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS,
+        help=f"timing repeats per variant (default {DEFAULT_REPEATS})",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="DIR",
+        help="directory for durability_bench.json",
+    )
+    args = parser.parse_args(argv)
+    bench_durability(
+        events=args.events, repeats=args.repeats, output=args.output
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

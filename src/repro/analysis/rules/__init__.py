@@ -16,6 +16,7 @@ from repro.analysis.rules.contract import (
     SketchInterfaceRule,
     UpdateObservesRule,
 )
+from repro.analysis.rules.durability import DirectWriteOpenRule
 from repro.analysis.rules.exceptions import (
     BareExceptRule,
     SilentSwallowRule,
@@ -43,6 +44,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BareExceptRule(),
     SilentSwallowRule(),
     DirectClockReadRule(),
+    DirectWriteOpenRule(),
 )
 
 RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,98 @@
+"""Durable-write discipline for the service and experiment layers.
+
+The durability subsystem (DESIGN.md §11) gives the repo exactly one
+crash-safe way to publish a file: temp file in the destination
+directory, fsync, ``os.replace``, directory fsync — packaged as
+:func:`repro.durability.atomicio.atomic_write_bytes` /
+``atomic_write_text``.  A plain ``open(path, "w")`` truncates the
+destination *before* writing, so a crash (or a concurrent reader — CI
+collecting artifacts mid-run) can observe an empty or half-written
+file where a complete one used to be.
+
+``DUR001`` machine-checks that ``repro.service`` and
+``repro.experiments`` never open files for writing directly: any
+``open``/``Path.open`` call whose mode string writes or truncates
+(``"w"``, ``"wb"``, ``"w+"``, ``"a"``, ``"x"``, …) is flagged.  Read
+modes stay legal, and :mod:`repro.durability` itself is outside the
+scope — it is the one place allowed to own raw file handles, because
+it is the layer that makes them safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.walker import Finding, ModuleInfo, Project, Rule
+
+#: Mode characters that make an ``open()`` call a write/truncate.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _call_mode(node: ast.Call) -> str | None:
+    """The literal mode string of an ``open``-style call, if present.
+
+    Positionally the mode is the second argument for builtin ``open``
+    and the first for ``Path.open``; both are covered by scanning every
+    literal string argument plus the ``mode=`` keyword — mode strings
+    (``"r"``, ``"wb"``, …) are not plausible file names, so this stays
+    precise in practice.
+    """
+    candidates: list[str] = []
+    for keyword in node.keywords:
+        if keyword.arg == "mode" and isinstance(
+            keyword.value, ast.Constant
+        ) and isinstance(keyword.value.value, str):
+            candidates.append(keyword.value.value)
+    for arg in node.args[:2]:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            value = arg.value
+            if value and all(ch in "rwaxbt+U" for ch in value):
+                candidates.append(value)
+    for mode in candidates:
+        if _WRITE_MODE_CHARS & set(mode):
+            return mode
+    return None
+
+
+def _is_open_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "open"
+    # Path(...).open(...) / path.open(...) — but not os.open (raw fd)
+    # and not self.wal.open() style lifecycle methods, which take no
+    # mode string and therefore never match a write mode anyway.
+    if isinstance(func, ast.Attribute) and func.attr == "open":
+        base = func.value
+        return not (
+            isinstance(base, ast.Name) and base.id in {"os", "io"}
+        )
+    return False
+
+
+class DirectWriteOpenRule(Rule):
+    code = "DUR001"
+    name = "direct-write-open"
+    description = (
+        "service and experiment code must publish files through "
+        "repro.durability.atomicio (atomic temp-file + rename), "
+        "never open(path, 'w'/'wb'/...) directly"
+    )
+    scopes = ("repro.service", "repro.experiments")
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not _is_open_call(node):
+                continue
+            mode = _call_mode(node)
+            if mode is None:
+                continue
+            yield self.finding(
+                module, node,
+                f"file opened for writing (mode {mode!r}) — publish "
+                "through repro.durability.atomicio.atomic_write_text/"
+                "atomic_write_bytes so crashes and concurrent readers "
+                "never see a truncated file",
+            )

@@ -65,6 +65,7 @@ class DirectClockReadRule(Rule):
         "repro.service",
         "repro.parallel",
         "repro.streaming",
+        "repro.durability",
     )
 
     def check(

@@ -8,10 +8,19 @@ module provides a compact, versioned, self-describing format:
 
 Use :func:`dumps` / :func:`loads` for any sketch; payload codecs are
 registered per class.
+
+Version 2 makes the format *continuation-exact*: randomized sketches
+(KLL, REQ, Random) carry their RNG generator state, and buffered
+sketches (t-digest, GKArray) carry their unflushed buffers instead of
+flushing at encode time (which mutated the sketch being saved).  A
+restored sketch fed the same suffix of a stream is now byte-identical
+to one that never left memory — the property the durability layer's
+crash recovery depends on.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import struct
 from typing import Callable
@@ -43,7 +52,7 @@ from repro.core.uddsketch import UDDSketch
 from repro.errors import SerializationError
 
 MAGIC = b"RPRO"
-VERSION = 1
+VERSION = 2
 
 _TRANSFORM_CODES = {"none": 0, "log": 1, "arcsinh": 2}
 _TRANSFORM_NAMES = {code: name for name, code in _TRANSFORM_CODES.items()}
@@ -172,6 +181,36 @@ def _read_store(r: _Reader) -> BucketStore:
 
 
 # ----------------------------------------------------------------------
+# RNG state (randomized sketches)
+# ----------------------------------------------------------------------
+
+
+def _write_rng(w: _Writer, rng: np.random.Generator) -> None:
+    """Capture the generator state so decode continues the same stream.
+
+    The bit-generator state is a JSON-safe dict of Python ints; written
+    canonically (sorted keys, no whitespace) so identical states always
+    produce identical bytes.
+    """
+    blob = json.dumps(
+        rng.bit_generator.state, sort_keys=True, separators=(",", ":")
+    ).encode("ascii")
+    w.i64(len(blob))
+    w.raw(blob)
+
+
+def _read_rng(r: _Reader, rng: np.random.Generator) -> None:
+    blob = r.raw(r.i64())
+    try:
+        state = json.loads(blob.decode("ascii"))
+        rng.bit_generator.state = state
+    except (ValueError, TypeError, KeyError) as exc:
+        raise SerializationError(
+            "malformed RNG state in sketch byte-stream"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
 # Per-sketch payload codecs
 # ----------------------------------------------------------------------
 
@@ -251,6 +290,7 @@ def _encode_kll(w: _Writer, sketch: KLLSketch) -> None:
     w.i64(len(sketch._compactors))
     for buffer in sketch._compactors:
         w.f64_array(np.asarray(buffer, dtype=np.float64))
+    _write_rng(w, sketch._rng)
 
 
 def _decode_kll(r: _Reader) -> KLLSketch:
@@ -261,6 +301,7 @@ def _decode_kll(r: _Reader) -> KLLSketch:
     sketch._compactors = [r.f64_array().tolist() for _ in range(num_levels)]
     sketch._retained = sum(len(b) for b in sketch._compactors)
     sketch._recompute_capacity()
+    _read_rng(r, sketch._rng)
     return sketch
 
 
@@ -291,6 +332,7 @@ def _encode_req(w: _Writer, sketch: ReqSketch) -> None:
         w.i64(compactor.num_sections)
         w.i64(compactor.state)
         w.f64_array(np.asarray(compactor.buffer, dtype=np.float64))
+    _write_rng(w, sketch._rng)
 
 
 def _decode_req(r: _Reader) -> ReqSketch:
@@ -310,6 +352,7 @@ def _decode_req(r: _Reader) -> ReqSketch:
         compactors.append(compactor)
     sketch._compactors = compactors
     sketch._retained = sum(len(c.buffer) for c in compactors)
+    _read_rng(r, sketch._rng)
     return sketch
 
 
@@ -377,11 +420,14 @@ def _decode_exact(r: _Reader) -> ExactQuantiles:
 
 
 def _encode_tdigest(w: _Writer, sketch: TDigest) -> None:
-    sketch._flush()
+    # The unflushed buffer is serialized as-is: flushing here would
+    # mutate the sketch being saved and diverge it from a copy that
+    # kept streaming (flush timing changes centroid formation).
     w.f64(sketch.compression)
     _write_common(w, sketch)
     w.f64_array(sketch._means)
     w.i64_array(sketch._counts)
+    w.f64_array(np.asarray(sketch._buffer, dtype=np.float64))
 
 
 def _decode_tdigest(r: _Reader) -> TDigest:
@@ -389,6 +435,7 @@ def _decode_tdigest(r: _Reader) -> TDigest:
     _read_common(r, sketch)
     sketch._means = r.f64_array()
     sketch._counts = r.i64_array()
+    sketch._buffer = r.f64_array().tolist()
     return sketch
 
 
@@ -447,6 +494,7 @@ def _encode_random(w: _Writer, sketch: RandomSketch) -> None:
     for buffer in sketch._full:
         w.i64(buffer.weight)
         w.f64_array(np.asarray(buffer.items, dtype=np.float64))
+    _write_rng(w, sketch._rng)
 
 
 def _decode_random(r: _Reader) -> RandomSketch:
@@ -458,6 +506,7 @@ def _decode_random(r: _Reader) -> RandomSketch:
     for _ in range(num_full):
         weight = r.i64()
         sketch._full.append(_Buffer(weight, r.f64_array().tolist()))
+    _read_rng(r, sketch._rng)
     return sketch
 
 
@@ -521,7 +570,8 @@ def _decode_dcs(r: _Reader) -> DyadicCountSketch:
 
 
 def _encode_gkarray(w: _Writer, sketch: GKArray) -> None:
-    sketch._flush()
+    # Like t-digest: carry the unflushed buffer rather than flushing,
+    # so encoding never mutates the sketch or changes its future.
     w.f64(sketch.epsilon)
     w.i64(sketch.buffer_size)
     _write_common(w, sketch)
@@ -530,6 +580,7 @@ def _encode_gkarray(w: _Writer, sketch: GKArray) -> None:
         w.f64(item.value)
         w.i64(item.g)
         w.i64(item.delta)
+    w.f64_array(np.asarray(sketch._buffer, dtype=np.float64))
 
 
 def _decode_gkarray(r: _Reader) -> GKArray:
@@ -540,6 +591,7 @@ def _decode_gkarray(r: _Reader) -> GKArray:
         g = r.i64()
         delta = r.i64()
         sketch._tuples.append(_Tuple(value, g, delta))
+    sketch._buffer = r.f64_array().tolist()
     return sketch
 
 

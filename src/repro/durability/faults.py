@@ -1,0 +1,110 @@
+"""Fault injection for the durability subsystem.
+
+Crash-safety claims are only as good as the crashes they were tested
+against.  The durability layer therefore threads every crash-relevant
+boundary — each WAL append, each fsync, each step of the checkpoint
+publication sequence — through an injectable hook, and this module
+provides the two implementations:
+
+* :data:`NO_FAULTS` — the production default; every check is a no-op.
+* :class:`CrashInjector` — arms a countdown on a *site* (e.g.
+  ``"wal.append"``) and raises :class:`InjectedIOError` when the
+  countdown reaches zero, simulating the kernel failing that exact
+  operation.  The test sweep in ``tests/durability/test_crash_sweep.py``
+  iterates the countdown over every boundary of a workload and proves
+  recovery reconstructs exactly the acked prefix each time.
+
+Injected failures deliberately derive from :class:`OSError`, not
+:class:`~repro.errors.ReproError`: they must flow through the same
+``except OSError`` paths a real disk failure would take.
+
+Process-kill coverage (SIGKILL mid-ingest, the fault no in-process
+harness can fake) lives in ``tests/service/test_crash_smoke.py`` and
+the CI crash-injection job.
+
+Known sites
+-----------
+``wal.append``             before a record's bytes are written
+``wal.append.partial``     after a record's header, before its payload
+                           (produces a real torn tail on disk)
+``wal.fsync``              before the segment fsync
+``wal.rotate``             before a segment rotation
+``checkpoint.encode``      before the checkpoint payload is encoded
+``atomic.write``           after the temp file's bytes are written
+``atomic.sync``            after the temp file is fsynced
+``atomic.replace``         after the atomic rename
+``checkpoint.truncate``    before old WAL segments are deleted
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidValueError
+
+#: Every boundary the durability layer announces, for sweep tests.
+KNOWN_SITES = (
+    "wal.append",
+    "wal.append.partial",
+    "wal.fsync",
+    "wal.rotate",
+    "checkpoint.encode",
+    "atomic.write",
+    "atomic.sync",
+    "atomic.replace",
+    "checkpoint.truncate",
+)
+
+
+class InjectedIOError(OSError):
+    """A simulated I/O failure raised by :class:`CrashInjector`."""
+
+
+class CrashInjector:
+    """Countdown-armed fault hook for one site.
+
+    ``CrashInjector("wal.append", countdown=3)`` lets two appends
+    through and fails the third.  After firing once the injector is
+    spent (subsequent checks pass), mirroring a crash-and-restart: the
+    failure happens exactly once, then the world moves on.
+
+    Instances are callable so they slot directly into the ``fault``
+    parameter of :func:`~repro.durability.atomicio.atomic_write_bytes`.
+    """
+
+    def __init__(self, site: str, countdown: int = 1) -> None:
+        if countdown < 1:
+            raise InvalidValueError(
+                f"countdown must be >= 1, got {countdown!r}"
+            )
+        self.site = site
+        self.countdown = int(countdown)
+        self.fired = False
+        self.hits = 0
+
+    def __call__(self, site: str) -> None:
+        self.check(site)
+
+    def check(self, site: str) -> None:
+        """Raise :class:`InjectedIOError` when the armed site comes due."""
+        if self.fired or site != self.site:
+            return
+        self.hits += 1
+        if self.hits >= self.countdown:
+            self.fired = True
+            raise InjectedIOError(
+                f"injected fault at {site!r} "
+                f"(occurrence {self.hits})"
+            )
+
+
+class _NoFaults:
+    """The production hook: every boundary passes."""
+
+    def __call__(self, site: str) -> None:
+        return
+
+    def check(self, site: str) -> None:
+        return
+
+
+#: Shared no-op instance used when no injector is armed.
+NO_FAULTS = _NoFaults()

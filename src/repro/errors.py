@@ -85,6 +85,26 @@ class ServiceUnavailableError(ServiceError):
     """The client exhausted its retries without reaching the server."""
 
 
+class DurabilityError(ReproError):
+    """Base class for errors raised by the durability subsystem."""
+
+
+class WALError(DurabilityError):
+    """A write-ahead-log segment is unreadable or internally corrupt.
+
+    A *torn tail* — a partially-written final record in the final
+    segment, the expected debris of a crash mid-append — is **not** an
+    error: replay drops it and reports it.  This exception covers the
+    unexpected cases: corruption in the middle of a segment, a bad
+    segment header, a record that fails its CRC with valid records
+    after it.
+    """
+
+
+class CheckpointError(DurabilityError):
+    """A checkpoint file could not be encoded, decoded or validated."""
+
+
 class AnalysisError(ReproError):
     """The static-analysis framework was misconfigured or hit an
     unparseable input (bad rule code, unknown selection, syntax error

@@ -14,10 +14,12 @@ writes one ``<exp-id>.json`` per experiment.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import Any
 
+from repro.durability.atomicio import atomic_write_text
 from repro.errors import ExperimentError
 from repro.experiments.accuracy import AccuracyResult
 from repro.experiments.datasets import DatasetProfile
@@ -235,13 +237,14 @@ def to_jsonable(result: Any) -> Any:
 
 
 def write_json(result: Any, path: str | Path) -> Path:
-    """Write *result* as pretty-printed JSON; returns the path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w") as handle:
-        json.dump(to_jsonable(result), handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    """Write *result* as pretty-printed JSON; returns the path.
+
+    Published atomically (temp file + rename): a crash or a concurrent
+    reader — CI collecting artifacts mid-run — sees the previous
+    complete file or the new one, never a truncated hybrid.
+    """
+    text = json.dumps(to_jsonable(result), indent=2, sort_keys=True)
+    return atomic_write_text(Path(path), text + "\n", durable=False)
 
 
 def accuracy_csv_rows(result: AccuracyResult) -> list[dict[str, Any]]:
@@ -274,13 +277,11 @@ def speed_csv_rows(result: SpeedResult) -> list[dict[str, Any]]:
 
 
 def write_csv(rows: list[dict[str, Any]], path: str | Path) -> Path:
-    """Write flat dict rows as CSV; returns the path."""
+    """Write flat dict rows as CSV, atomically; returns the path."""
     if not rows:
         raise ExperimentError("no rows to write")
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
-        writer.writeheader()
-        writer.writerows(rows)
-    return path
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return atomic_write_text(Path(path), buffer.getvalue(), durable=False)

@@ -107,6 +107,37 @@ def _build_parser() -> argparse.ArgumentParser:
             "no-op twins, costing <5%% on the hot path"
         ),
     )
+    serve.add_argument(
+        "--durability",
+        choices=("on", "off"),
+        default="off",
+        help=(
+            "journal every accepted ingest to a write-ahead log "
+            "before acking and recover state on start (needs "
+            "--data-dir)"
+        ),
+    )
+    serve.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for WAL segments and checkpoints",
+    )
+    serve.add_argument(
+        "--flush-policy",
+        choices=("always", "batch", "os"),
+        default="batch",
+        help=(
+            "WAL fsync cadence: every record, batched (size/count "
+            "thresholds), or left to the OS page cache"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-interval-ms",
+        type=float,
+        default=60_000.0,
+        help="cadence between automatic checkpoints (0 disables)",
+    )
 
     bench = commands.add_parser(
         "bench", help="run the end-to-end service benchmark"
@@ -152,6 +183,22 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.service.server import QuantileServer
 
     telemetry = Telemetry() if args.telemetry == "on" else NOOP
+    durability = None
+    if args.durability == "on":
+        from repro.durability import DurabilityManager, FlushPolicy
+
+        if not args.data_dir:
+            print(
+                "[repro-service] --durability on requires --data-dir",
+                file=sys.stderr,
+            )
+            return 2
+        durability = DurabilityManager(
+            args.data_dir,
+            flush_policy=FlushPolicy(mode=args.flush_policy),
+            checkpoint_interval_ms=args.checkpoint_interval_ms,
+            telemetry=telemetry,
+        )
     registry = MetricRegistry(
         sketch_factory=default_sketch_factory(args.sketch, seed=args.seed),
         partition_ms=args.partition_ms,
@@ -169,15 +216,23 @@ def _run_serve(args: argparse.Namespace) -> int:
         ingest_queue_size=args.queue_size,
         ingest_workers=args.workers,
         telemetry=telemetry,
+        durability=durability,
     )
     with server:
         host, port = server.address
         print(
             f"[repro-service] serving {args.sketch} partitions on "
             f"{host}:{port} (queue={args.queue_size}, "
-            f"workers={args.workers}, telemetry={args.telemetry}); "
-            f"Ctrl-C to stop"
+            f"workers={args.workers}, telemetry={args.telemetry}, "
+            f"durability={args.durability}); Ctrl-C to stop",
+            flush=True,
         )
+        if durability is not None and durability.last_recovery:
+            print(
+                f"[repro-service] recovered "
+                f"{durability.last_recovery.as_dict()}",
+                flush=True,
+            )
         try:
             while True:
                 # Idle heartbeat between flush barriers.

@@ -99,6 +99,27 @@ class QuantileClient:
         self._rfile = None
         self._wfile = None
 
+    def reconnect(
+        self, host: str | None = None, port: int | None = None
+    ) -> "QuantileClient":
+        """Drop the current connection and dial again.
+
+        Recovery tests use this after a server restart: the old socket
+        is dead, and the next :meth:`call` would otherwise burn one
+        retry discovering that.  A restarted server may come back on a
+        different port, so the target address can be re-pointed here.
+        Counts ``client.reconnects``.
+        """
+        self.close()
+        if host is not None or port is not None:
+            old_host, old_port = self._address
+            self._address = (
+                host if host is not None else old_host,
+                int(port) if port is not None else old_port,
+            )
+        self.telemetry.counter("client.reconnects").inc()
+        return self.connect()
+
     def __enter__(self) -> "QuantileClient":
         return self.connect()
 
@@ -183,6 +204,14 @@ class QuantileClient:
     def flush(self) -> None:
         """Barrier: returns once all enqueued ingests are applied."""
         self.call({"op": "flush"})
+
+    def checkpoint(self) -> int:
+        """Force a durable checkpoint; returns its WAL watermark.
+
+        Raises :class:`~repro.errors.ServiceError` when the server
+        runs without durability.
+        """
+        return int(self.call({"op": "checkpoint"})["checkpoint_seq"])
 
     def quantile(
         self,

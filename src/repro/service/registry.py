@@ -173,9 +173,45 @@ class MetricRegistry:
         values: Iterable[float] | np.ndarray,
         timestamp_ms: float | None = None,
         tags: Mapping[str, str] | None = None,
+        now_ms: float | None = None,
     ) -> int:
-        """Record a batch into the metric's store; returns accepted count."""
-        return self.store(name, tags).record_batch(values, timestamp_ms)
+        """Record a batch into the metric's store; returns accepted count.
+
+        *now_ms* overrides the store's clock reading for retention
+        decisions — the WAL replay path pins it to the journal-time
+        value so recovery reproduces the live run exactly.
+        """
+        return self.store(name, tags).record_batch(
+            values, timestamp_ms, now_ms
+        )
+
+    def restore_store(
+        self,
+        name: str,
+        tags: Mapping[str, str] | None,
+        blob: bytes,
+    ) -> TimePartitionedStore:
+        """Install a store from snapshot bytes (checkpoint recovery).
+
+        The snapshot must describe the same partition shape this
+        registry's factory would build for the key (hot metrics stay
+        hot across restarts); a mismatch raises
+        :class:`~repro.errors.SerializationError`.
+        """
+        key = MetricKey.of(name, tags)
+        store = TimePartitionedStore.restore(
+            blob,
+            self._factory_for(key),
+            clock=self._clock,
+            telemetry=self.telemetry,
+        )
+        with self._lock:
+            if key in self._stores:
+                raise InvalidValueError(
+                    f"store {key} already exists; refusing to overwrite"
+                )
+            self._stores[key] = store
+        return store
 
     # ------------------------------------------------------------------
     # Introspection

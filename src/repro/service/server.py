@@ -21,6 +21,24 @@ ingest-then-query sequence deterministic for the test harness.
 ``pause_ingest()`` / ``resume_ingest()`` hold the drain workers at a
 gate; the overload benchmark and tests use them to force the queue-full
 regime deterministically.
+
+Durability
+----------
+With a :class:`~repro.durability.DurabilityManager` attached, every
+accepted ingest is journaled to the write-ahead log *before* the ack
+goes out (journal-before-ack): an acked batch survives a crash, and a
+crashed batch was never acked.  The ingest lock serialises
+journal+enqueue so WAL order equals queue order equals apply order —
+``queue.full()`` is checked under the lock before journaling, and since
+drain workers only ever *remove* items, the subsequent ``put_nowait``
+cannot fail, keeping the log free of phantom (journaled-but-shed)
+records.  Checkpoints run on the manager's injectable clock cadence
+(checked after each ack) or on demand via the ``checkpoint`` op; both
+quiesce ingestion and barrier on the queue so the snapshot exactly
+matches the WAL watermark.  This module never imports
+:mod:`repro.durability` at runtime — the manager arrives duck-typed,
+keeping the service importable without the durability layer and the
+layering acyclic.
 """
 
 from __future__ import annotations
@@ -28,7 +46,7 @@ from __future__ import annotations
 import queue
 import socketserver
 import threading
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.errors import (
     EmptySketchError,
@@ -41,6 +59,9 @@ from repro.obs.telemetry import Telemetry
 from repro.service import protocol
 from repro.service.clock import Clock, SystemClock
 from repro.service.registry import MetricRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; no runtime cycle
+    from repro.durability import DurabilityManager
 
 
 class ServerStats:
@@ -127,6 +148,12 @@ class QuantileServer:
         to turn instrumentation off.  A default-constructed registry
         shares this instance, so store-level cache counters land in
         the same snapshot as the server's op spans.
+    durability:
+        Optional :class:`~repro.durability.DurabilityManager` (duck
+        typed).  When set, :meth:`start` recovers the registry from
+        its data directory, every accepted ingest is journaled before
+        the ack, cadence checkpoints run on the manager's clock, and
+        :meth:`stop` writes a final checkpoint.
     """
 
     def __init__(
@@ -138,6 +165,7 @@ class QuantileServer:
         ingest_workers: int = 1,
         clock: Clock | None = None,
         telemetry: Telemetry | None = None,
+        durability: "DurabilityManager | None" = None,
     ) -> None:
         if ingest_queue_size < 1:
             raise InvalidValueError(
@@ -156,12 +184,19 @@ class QuantileServer:
             else MetricRegistry(clock=clock, telemetry=self.telemetry)
         )
         self.stats = ServerStats()
+        self.durability = durability
         self._host = host
         self._port = port
-        self._queue: "queue.Queue[tuple[str, dict[str, str] | None, list[float], float | None] | None]" = queue.Queue(
+        # Queue items pin both the resolved event timestamp and (when
+        # durability journaled the batch) the clock reading to apply it
+        # under, so replay reproduces the drain path exactly.
+        self._queue: "queue.Queue[tuple[str, dict[str, str] | None, list[float], float | None, float | None] | None]" = queue.Queue(
             maxsize=ingest_queue_size
         )
         self._ingest_workers = ingest_workers
+        # Serialises journal-then-enqueue against checkpoints; see the
+        # module docstring's durability section for the invariants.
+        self._ingest_lock = threading.Lock()
         self._drain_gate = threading.Event()
         self._drain_gate.set()
         self._server: _TCPServer | None = None
@@ -173,9 +208,16 @@ class QuantileServer:
     # ------------------------------------------------------------------
 
     def start(self) -> "QuantileServer":
-        """Bind, start the accept loop and the drain workers."""
+        """Bind, start the accept loop and the drain workers.
+
+        With durability attached, the registry is recovered from disk
+        (checkpoint + WAL replay) before the first connection is
+        accepted, so every query answers over the durable state.
+        """
         if self._server is not None:
             raise InvalidValueError("server already started")
+        if self.durability is not None:
+            self.durability.recover(self.registry)
         server = _TCPServer((self._host, self._port), _RequestHandler)
         server.service = self
         self._server = server
@@ -212,6 +254,23 @@ class QuantileServer:
         self._workers = []
         self._server = None
         self._serve_thread = None
+        if self.durability is not None:
+            # Workers are joined and the queue is drained, so the
+            # registry reflects every journaled record: checkpoint it
+            # to make the next start a replay-free recovery.  A failed
+            # final checkpoint is survivable (the WAL still covers
+            # everything) and must not block shutdown.
+            try:
+                if (
+                    self.durability.wal.last_seq
+                    > self.durability.last_checkpoint_seq
+                ):
+                    self.durability.checkpoint_now(self.registry)
+            except OSError:
+                self.telemetry.counter(
+                    "server.checkpoint_failures"
+                ).inc()
+            self.durability.close()
 
     def __enter__(self) -> "QuantileServer":
         return self.start()
@@ -253,11 +312,12 @@ class QuantileServer:
                 if item is None:
                     return
                 self._drain_gate.wait()
-                name, tags, values, timestamp_ms = item
+                name, tags, values, timestamp_ms, now_ms = item
                 try:
                     with self.telemetry.span("server.drain_batch"):
                         accepted = self.registry.record(
-                            name, values, timestamp_ms, tags
+                            name, values, timestamp_ms, tags,
+                            now_ms=now_ms,
                         )
                     self.stats.incr("ingested_values", accepted)
                 except ReproError:
@@ -324,23 +384,103 @@ class QuantileServer:
         if timestamp_ms is not None:
             timestamp_ms = float(timestamp_ms)
         self.stats.incr("ingest_requests")
-        try:
-            self._queue.put_nowait((name, tags, values, timestamp_ms))
-        except queue.Full:
-            self.stats.incr("shed_requests")
-            self.telemetry.counter("server.shed_requests").inc()
-            return protocol.shed(
-                f"ingest queue full ({self._queue.maxsize} batches); "
-                f"request shed"
-            )
+        if self.durability is not None:
+            with self._ingest_lock:
+                # Shed *before* journaling: the WAL must hold exactly
+                # the acked operations.  Workers only remove items, so
+                # a non-full queue here cannot fill before the put.
+                if self._queue.full():
+                    return self._shed()
+                try:
+                    _seq, ts, now = self.durability.journal(
+                        name, tags, values, timestamp_ms
+                    )
+                except OSError as exc:
+                    # Not journaled => not acked, not applied.
+                    self.stats.incr("error_responses")
+                    return protocol.error(
+                        "durability",
+                        f"journal write failed: {exc}",
+                    )
+                self._queue.put_nowait((name, tags, values, ts, now))
+        else:
+            try:
+                self._queue.put_nowait(
+                    (name, tags, values, timestamp_ms, None)
+                )
+            except queue.Full:
+                return self._shed()
         self.telemetry.gauge("server.ingest_queue_depth").set(
             self._queue.qsize()
         )
-        return protocol.ok(accepted=len(values))
+        response = protocol.ok(accepted=len(values))
+        if (
+            self.durability is not None
+            and self.durability.checkpoint_due()
+        ):
+            self.maybe_checkpoint()
+        return response
+
+    def _shed(self) -> dict[str, Any]:
+        self.stats.incr("shed_requests")
+        self.telemetry.counter("server.shed_requests").inc()
+        return protocol.shed(
+            f"ingest queue full ({self._queue.maxsize} batches); "
+            f"request shed"
+        )
+
+    def maybe_checkpoint(self) -> bool:
+        """Run a cadence checkpoint if one is (still) due.
+
+        Quiesces ingestion (ingest lock), barriers on the queue so the
+        registry reflects every journaled record, re-checks dueness
+        under the lock (another thread may have just checkpointed) and
+        snapshots.  Returns whether a checkpoint was written.
+        """
+        durability = self.durability
+        if durability is None:
+            return False
+        with self._ingest_lock:
+            if not durability.checkpoint_due():
+                return False
+            self.flush()
+            try:
+                durability.checkpoint_now(self.registry)
+            except OSError:
+                # A failed checkpoint loses no data — the WAL still
+                # holds everything — so the ingest that triggered the
+                # cadence must not fail with it.
+                self.stats.incr("error_responses")
+                self.telemetry.counter(
+                    "server.checkpoint_failures"
+                ).inc()
+                return False
+            return True
 
     def _op_flush(self, request: dict[str, Any]) -> dict[str, Any]:
         self.flush()
         return protocol.ok(flushed=True)
+
+    def _op_checkpoint(self, request: dict[str, Any]) -> dict[str, Any]:
+        durability = self.durability
+        if durability is None:
+            raise InvalidValueError(
+                "checkpoint requires the server to run with durability "
+                "enabled"
+            )
+        try:
+            with self._ingest_lock:
+                self.flush()
+                durability.checkpoint_now(self.registry)
+        except OSError as exc:
+            self.stats.incr("error_responses")
+            self.telemetry.counter("server.checkpoint_failures").inc()
+            return protocol.error(
+                "durability", f"checkpoint failed: {exc}"
+            )
+        return protocol.ok(
+            checkpoint_seq=durability.last_checkpoint_seq
+        )
 
     def _op_quantile(self, request: dict[str, Any]) -> dict[str, Any]:
         store, t0, t1 = self._query_target(request)
@@ -378,6 +518,8 @@ class QuantileServer:
     def _op_stats(self, request: dict[str, Any]) -> dict[str, Any]:
         combined: dict[str, int] = dict(self.registry.stats())
         combined.update(self.stats.snapshot())
+        if self.durability is not None:
+            combined.update(self.durability.stats())
         return protocol.ok(stats=combined)
 
     def _query_target(
@@ -403,6 +545,7 @@ class QuantileServer:
         "ping": _op_ping,
         "ingest": _op_ingest,
         "flush": _op_flush,
+        "checkpoint": _op_checkpoint,
         "quantile": _op_quantile,
         "rank": _op_rank,
         "cdf": _op_cdf,

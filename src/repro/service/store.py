@@ -147,16 +147,22 @@ class TimePartitionedStore:
     # Ingestion
     # ------------------------------------------------------------------
 
-    def record(self, value: float, timestamp_ms: float | None = None) -> int:
+    def record(
+        self,
+        value: float,
+        timestamp_ms: float | None = None,
+        now_ms: float | None = None,
+    ) -> int:
         """Record one value; returns 1 if accepted, 0 if dropped late."""
         return self.record_batch(
-            np.asarray([value], dtype=np.float64), timestamp_ms
+            np.asarray([value], dtype=np.float64), timestamp_ms, now_ms
         )
 
     def record_batch(
         self,
         values: Iterable[float] | np.ndarray,
         timestamp_ms: float | None = None,
+        now_ms: float | None = None,
     ) -> int:
         """Record a batch sharing one event timestamp.
 
@@ -165,13 +171,20 @@ class TimePartitionedStore:
         path could no longer attribute them to a fine range, matching
         the sliding-window semantics of :mod:`repro.streaming`.
 
+        *now_ms* overrides the clock for the retention/compaction
+        decision; WAL replay passes the journal-time reading so a
+        recovered store makes byte-identical drop and compaction
+        choices to the live run.
+
         Returns the number of values accepted.
         """
         array = np.asarray(values, dtype=np.float64).ravel()
         if array.size == 0:
             return 0
         with self._lock:
-            now = self._clock.now_ms()
+            now = (
+                self._clock.now_ms() if now_ms is None else float(now_ms)
+            )
             ts = now if timestamp_ms is None else float(timestamp_ms)
             self._maybe_compact(now)
             if ts < now - self.fine_horizon_ms:

@@ -1,0 +1,41 @@
+# module: repro.experiments.badexport
+"""Known-bad: result files published with truncate-in-place writes."""
+import json
+from pathlib import Path
+
+
+def dump_report(report, path):
+    with open(path, "w") as handle:  # expect: DUR001
+        json.dump(report, handle)
+
+
+def dump_blob(blob, path):
+    with open(path, "wb") as handle:  # expect: DUR001
+        handle.write(blob)
+
+
+def dump_keyword_mode(report, path):
+    with open(path, mode="w", encoding="utf-8") as handle:  # expect: DUR001
+        handle.write(report)
+
+
+def append_log(line, path):
+    # Appending is still a direct mutation of a published file.
+    with open(path, "a") as handle:  # expect: DUR001
+        handle.write(line + "\n")
+
+
+def dump_via_pathlib(report, path):
+    with Path(path).open("w") as handle:  # expect: DUR001
+        handle.write(report)
+
+
+def suppressed_writer(report, path):
+    # A deliberate, audited exception stays visible in --json output.
+    with open(path, "w") as handle:  # repro: noqa[DUR001]
+        handle.write(report)
+
+
+def read_report(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

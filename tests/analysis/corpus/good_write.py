@@ -1,0 +1,24 @@
+# module: repro.experiments.goodexport
+"""Known-good: publication through the durability layer's atomic path."""
+import json
+
+from repro.durability.atomicio import atomic_write_bytes, atomic_write_text
+
+
+def dump_report(report, path):
+    atomic_write_text(path, json.dumps(report, sort_keys=True) + "\n")
+
+
+def dump_blob(blob, path):
+    atomic_write_bytes(path, blob, durable=False)
+
+
+def read_report(path):
+    # Read modes never truncate; they stay outside the rule.
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def read_binary(path):
+    with open(path, "rb") as handle:
+        return handle.read()

@@ -52,6 +52,18 @@ def test_multi_code_noqa():
     assert active_findings(_findings(source)) == []
 
 
+def test_dur001_noqa_suppresses_in_scope_write():
+    source = (
+        "def dump(report, path):\n"
+        "    with open(path, 'w') as handle:  # repro: noqa[DUR001]\n"
+        "        handle.write(report)\n"
+    )
+    findings = analyze_source(source, module="repro.service.noqa_demo")
+    assert [f.code for f in findings] == ["DUR001"]
+    assert findings[0].suppressed
+    assert active_findings(findings) == []
+
+
 def test_noqa_on_a_different_line_has_no_effect():
     source = (
         "# repro: noqa[FLT001]\n"

@@ -1,0 +1,158 @@
+"""Unit tests for checkpoint encode/decode/publish/prune."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.durability.checkpoint import (
+    Checkpointer,
+    checkpoint_path,
+    decode_checkpoint,
+    encode_checkpoint,
+    list_checkpoints,
+)
+from repro.durability.faults import CrashInjector, InjectedIOError
+from repro.errors import CheckpointError
+from repro.service.clock import ManualClock
+from repro.service.registry import MetricRegistry
+
+
+def make_registry(seed_clock=1_000_000.0, **kwargs):
+    clock = ManualClock(seed_clock)
+    return MetricRegistry(clock=clock, **kwargs), clock
+
+
+def fill(registry, clock, metrics=("lat", "rps"), batches=20):
+    rng = np.random.default_rng(7)
+    for _ in range(batches):
+        for name in metrics:
+            registry.record(
+                name, (1.0 + rng.pareto(1.0, 25)).tolist(),
+                clock.now_ms(), {"svc": "api"},
+            )
+        clock.advance(50.0)
+
+
+class TestCodec:
+    def test_round_trip_restores_identical_stores(self, tmp_path):
+        registry, clock = make_registry()
+        fill(registry, clock)
+        data = encode_checkpoint(registry, wal_seq=40, created_ms=123.0)
+        path = checkpoint_path(tmp_path, 40)
+        path.write_bytes(data)
+        loaded = decode_checkpoint(path)
+        assert loaded.wal_seq == 40
+        assert loaded.created_ms == 123.0
+        assert len(loaded.stores) == 2
+
+        target, _ = make_registry()
+        assert loaded.restore_into(target) == 2
+        for key in registry.keys():
+            original = registry.get(key.name, key.as_dict())
+            restored = target.get(key.name, key.as_dict())
+            assert restored.snapshot() == original.snapshot()
+
+    def test_encoding_is_deterministic(self):
+        registry, clock = make_registry()
+        fill(registry, clock)
+        a = encode_checkpoint(registry, 10, 5.0)
+        b = encode_checkpoint(registry, 10, 5.0)
+        assert a == b
+
+    def test_refuses_restore_into_nonempty_registry(self, tmp_path):
+        registry, clock = make_registry()
+        fill(registry, clock)
+        path = checkpoint_path(tmp_path, 1)
+        path.write_bytes(encode_checkpoint(registry, 1, 0.0))
+        loaded = decode_checkpoint(path)
+        with pytest.raises(CheckpointError):
+            loaded.restore_into(registry)
+
+    def test_crc_failure_detected(self, tmp_path):
+        registry, clock = make_registry()
+        fill(registry, clock)
+        path = checkpoint_path(tmp_path, 1)
+        data = bytearray(encode_checkpoint(registry, 1, 0.0))
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(path)
+
+    def test_truncation_detected(self, tmp_path):
+        registry, clock = make_registry()
+        fill(registry, clock)
+        path = checkpoint_path(tmp_path, 1)
+        data = encode_checkpoint(registry, 1, 0.0)
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(path)
+
+    def test_bad_magic_detected(self, tmp_path):
+        path = checkpoint_path(tmp_path, 1)
+        path.write_bytes(b"XXXX" + b"\x01" + b"\x00" * 8)
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(path)
+
+    def test_hot_metric_shape_survives(self, tmp_path):
+        registry, clock = make_registry(hot_metrics=("lat",), n_shards=3)
+        fill(registry, clock)
+        path = checkpoint_path(tmp_path, 1)
+        path.write_bytes(encode_checkpoint(registry, 1, 0.0))
+        target, _ = make_registry(hot_metrics=("lat",), n_shards=3)
+        decode_checkpoint(path).restore_into(target)
+        for key in registry.keys():
+            assert (
+                target.get(key.name, key.as_dict()).snapshot()
+                == registry.get(key.name, key.as_dict()).snapshot()
+            )
+
+
+class TestCheckpointer:
+    def test_write_and_latest(self, tmp_path):
+        registry, clock = make_registry()
+        fill(registry, clock)
+        checkpointer = Checkpointer(tmp_path)
+        checkpointer.write(registry, wal_seq=7, created_ms=1.0)
+        loaded = checkpointer.latest()
+        assert loaded is not None
+        assert loaded.wal_seq == 7
+
+    def test_prunes_to_keep(self, tmp_path):
+        registry, clock = make_registry()
+        fill(registry, clock)
+        checkpointer = Checkpointer(tmp_path, keep=2)
+        for seq in (1, 2, 3, 4):
+            checkpointer.write(registry, wal_seq=seq, created_ms=0.0)
+        names = [p.name for p in list_checkpoints(tmp_path)]
+        assert len(names) == 2
+        assert checkpointer.latest().wal_seq == 4
+
+    def test_latest_skips_invalid_newest(self, tmp_path):
+        registry, clock = make_registry()
+        fill(registry, clock)
+        checkpointer = Checkpointer(tmp_path)
+        checkpointer.write(registry, wal_seq=1, created_ms=0.0)
+        # A corrupt newer file must fall back, not strand recovery.
+        bogus = checkpoint_path(tmp_path, 9)
+        bogus.write_bytes(b"RPCK\x01garbage")
+        assert checkpointer.latest().wal_seq == 1
+
+    def test_latest_empty_directory(self, tmp_path):
+        assert Checkpointer(tmp_path / "missing").latest() is None
+
+    def test_fault_during_publish_preserves_previous(self, tmp_path):
+        registry, clock = make_registry()
+        fill(registry, clock)
+        checkpointer = Checkpointer(tmp_path)
+        checkpointer.write(registry, wal_seq=1, created_ms=0.0)
+        faulty = Checkpointer(
+            tmp_path, fault=CrashInjector("atomic.write")
+        )
+        with pytest.raises(InjectedIOError):
+            faulty.write(registry, wal_seq=2, created_ms=1.0)
+        assert checkpointer.latest().wal_seq == 1
+
+    def test_keep_validation(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            Checkpointer(tmp_path, keep=0)

@@ -1,0 +1,91 @@
+"""Hard-kill smoke test: SIGKILL a real server process, then recover.
+
+The in-process sweep (:mod:`tests.durability.test_crash_sweep`) covers
+every fault boundary deterministically; this test covers the one thing
+it cannot — an actual process death with no Python teardown at all —
+through the public CLI entry point.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import QuantileClient
+
+BANNER = re.compile(r"serving .* on ([\w.\-]+):(\d+)")
+
+
+def spawn_server(data_dir, extra=()):
+    env = dict(os.environ)
+    root = os.path.join(os.path.dirname(__file__), "..", "..")
+    env["PYTHONPATH"] = os.path.abspath(os.path.join(root, "src"))
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service", "serve",
+            "--host", "127.0.0.1", "--port", "0",
+            "--durability", "on", "--data-dir", str(data_dir),
+            "--flush-policy", "always",
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    deadline = time.monotonic() + 20.0
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"server exited before banner (rc={process.poll()})"
+            )
+        match = BANNER.search(line)
+        if match:
+            return process, match.group(1), int(match.group(2))
+        if time.monotonic() > deadline:
+            process.kill()
+            raise AssertionError("no serve banner within 20s")
+
+
+@pytest.mark.slow
+def test_sigkill_then_recover(tmp_path):
+    process, host, port = spawn_server(tmp_path)
+    try:
+        with QuantileClient(host, port, timeout=5.0, retries=0) as cli:
+            acked = 0
+            for index in range(20):
+                acked += cli.ingest(
+                    "lat",
+                    [float(v) for v in range(index, index + 50)],
+                )
+            cli.flush()
+            assert acked == 20 * 50
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=10.0)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+
+    # Every acked batch was fsynced (--flush-policy always): the
+    # restarted process must serve all of them.
+    process, host, port = spawn_server(tmp_path)
+    try:
+        with QuantileClient(host, port, timeout=5.0, retries=0) as cli:
+            assert cli.count("lat") == acked
+            assert cli.stats()["durability_last_seq"] == 20
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10.0)

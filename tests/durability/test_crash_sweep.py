@@ -1,0 +1,214 @@
+"""Crash-consistency sweep: the property the durability layer sells.
+
+For every fault site and every countdown — i.e. a simulated crash at
+every WAL record boundary and at every stage of a checkpoint — recovery
+must rebuild a registry whose store snapshots are *byte-identical* to a
+never-crashed registry fed the acked prefix of the workload.
+
+One deliberate relaxation, the classic fsync ambiguity: an op whose
+``journal()`` raised *after* the record reached disk (fsync reported
+failure, or the crash hit between write and ack) was never acked but
+may legitimately survive replay.  Recovery may therefore land on either
+``acked`` or ``acked + the one in-flight op`` — never anything else,
+and never losing an acked op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.durability.faults import KNOWN_SITES, CrashInjector
+from repro.durability.manager import DurabilityManager
+from repro.durability.wal import FlushPolicy
+from repro.service.clock import ManualClock
+from repro.service.registry import MetricRegistry
+
+EPOCH_MS = 1_000_000.0
+N_OPS = 15
+CHECKPOINT_AFTER = {6, 12}  # 1-based op numbers followed by a checkpoint
+
+# Sites hit once per journaled record: sweep every record boundary.
+RECORD_SITES = ("wal.append", "wal.append.partial", "wal.fsync")
+# Sites hit once per checkpoint attempt: sweep both checkpoints.
+CHECKPOINT_SITES = (
+    "wal.rotate",
+    "checkpoint.encode",
+    "atomic.write",
+    "atomic.sync",
+    "atomic.replace",
+    "checkpoint.truncate",
+)
+
+
+def plan_ops():
+    """Deterministic workload: two metrics, mixed tags, fixed batches."""
+    rng = np.random.default_rng(2024)
+    ops = []
+    for number in range(1, N_OPS + 1):
+        metric = "lat" if number % 2 else "rps"
+        tags = {"svc": "api"} if number % 3 else None
+        values = (1.0 + rng.pareto(1.0, 20)).tolist()
+        ops.append((metric, tags, values, number in CHECKPOINT_AFTER))
+    return ops
+
+
+def snapshot_all(registry):
+    return {
+        (key.name, tuple(sorted((key.as_dict() or {}).items()))):
+            registry.get(key.name, key.as_dict()).snapshot()
+        for key in registry.keys()
+    }
+
+
+def run_until_crash(data_dir, fault):
+    """Drive the workload journal-then-apply until a fault 'kills' it.
+
+    Returns ``(acked, pending, crashed)`` where *acked* holds the ops
+    whose journal append returned (the only ops a client saw acked)
+    and *pending* the op in flight when the crash hit, if any.
+    """
+    clock = ManualClock(EPOCH_MS)
+    manager = DurabilityManager(
+        data_dir,
+        clock=clock,
+        flush_policy=FlushPolicy(mode="always"),
+        fault=fault,
+    )
+    registry = MetricRegistry(clock=clock)
+    manager.recover(registry)
+    acked = []
+    pending = None
+    crashed = False
+    try:
+        for metric, tags, values, checkpoint_after in plan_ops():
+            stamp = clock.now_ms()  # journal() resolves ts = now = this
+            pending = (metric, tags, values, stamp, stamp)
+            seq, ts, now = manager.journal(metric, tags, values, None)
+            registry.record(metric, values, ts, tags, now_ms=now)
+            acked.append((metric, tags, values, ts, now))
+            pending = None
+            clock.advance(40.0)
+            if checkpoint_after:
+                manager.checkpoint_now(registry)
+    except OSError:
+        crashed = True
+        # Simulated process death: no clean close, no final sync.
+    else:
+        manager.close()
+    return acked, pending, crashed
+
+
+def replay_control(ops):
+    """A never-crashed registry fed exactly *ops* (with pinned clocks)."""
+    clock = ManualClock(EPOCH_MS)
+    registry = MetricRegistry(clock=clock)
+    for metric, tags, values, ts, now in ops:
+        registry.record(metric, values, ts, tags, now_ms=now)
+    return registry
+
+
+def recover_fresh(data_dir):
+    clock = ManualClock(EPOCH_MS + 10 * 60 * 1000.0)
+    manager = DurabilityManager(data_dir, clock=clock)
+    registry = MetricRegistry(clock=clock)
+    report = manager.recover(registry)
+    manager.close()
+    return registry, report
+
+
+def assert_crash_consistent(data_dir, acked, pending):
+    recovered, report = recover_fresh(data_dir)
+    got = snapshot_all(recovered)
+    want_acked = snapshot_all(replay_control(acked))
+    if got == want_acked:
+        return report
+    assert pending is not None, (
+        "recovered state diverges from the acked prefix with no op in "
+        "flight at crash time"
+    )
+    want_with_pending = snapshot_all(replay_control(acked + [pending]))
+    assert got == want_with_pending, (
+        "recovered state matches neither the acked prefix nor acked + "
+        "the in-flight op"
+    )
+    return report
+
+
+def test_baseline_no_fault_round_trips(tmp_path):
+    acked, pending, crashed = run_until_crash(tmp_path, None)
+    assert not crashed and pending is None and len(acked) == N_OPS
+    report = assert_crash_consistent(tmp_path, acked, None)
+    assert report.checkpoint_seq == 12
+    assert report.records_replayed == 3
+
+
+def test_all_known_sites_exercised():
+    """The sweep must cover every registered fault site."""
+    assert set(RECORD_SITES) | set(CHECKPOINT_SITES) == set(KNOWN_SITES)
+
+
+@pytest.mark.parametrize("countdown", range(1, N_OPS + 1))
+@pytest.mark.parametrize("site", RECORD_SITES)
+def test_crash_at_every_record_boundary(tmp_path, site, countdown):
+    injector = CrashInjector(site, countdown=countdown)
+    acked, pending, crashed = run_until_crash(tmp_path, injector)
+    assert crashed or not injector.fired
+    assert_crash_consistent(tmp_path, acked, pending)
+
+
+@pytest.mark.parametrize("countdown", (1, 2))
+@pytest.mark.parametrize("site", CHECKPOINT_SITES)
+def test_crash_mid_checkpoint(tmp_path, site, countdown):
+    injector = CrashInjector(site, countdown=countdown)
+    acked, pending, crashed = run_until_crash(tmp_path, injector)
+    assert crashed, f"{site} countdown={countdown} never fired"
+    # A checkpoint crash happens between ops: nothing was in flight,
+    # so recovery must reproduce the acked prefix exactly.
+    assert pending is None
+    assert_crash_consistent(tmp_path, acked, None)
+
+
+@pytest.mark.parametrize("site", RECORD_SITES)
+def test_double_crash_then_recover(tmp_path, site):
+    """Crash, recover, crash again mid-continuation, recover again."""
+    first = CrashInjector(site, countdown=5)
+    acked, pending, _ = run_until_crash(tmp_path, first)
+    recovered, _ = recover_fresh(tmp_path)
+
+    clock = ManualClock(EPOCH_MS + 20 * 60 * 1000.0)
+    manager = DurabilityManager(
+        tmp_path,
+        clock=clock,
+        flush_policy=FlushPolicy(mode="always"),
+        fault=CrashInjector(site, countdown=3),
+    )
+    registry = MetricRegistry(clock=clock)
+    manager.recover(registry)
+    baseline = snapshot_all(registry)
+    survivors = []
+    in_flight = None
+    rng = np.random.default_rng(77)
+    try:
+        for _ in range(6):
+            values = (1.0 + rng.pareto(1.0, 10)).tolist()
+            stamp = clock.now_ms()
+            in_flight = ("lat", None, values, stamp, stamp)
+            _, ts, now = manager.journal("lat", None, values, None)
+            registry.record("lat", values, ts, None, now_ms=now)
+            survivors.append(("lat", None, values, ts, now))
+            in_flight = None
+            clock.advance(40.0)
+    except OSError:
+        pass
+
+    final, _ = recover_fresh(tmp_path)
+    got = snapshot_all(final)
+    want = snapshot_all(registry)
+    if got != want:
+        # The in-flight op may have reached disk before the ack failed.
+        assert in_flight is not None
+        metric, tags, values, ts, now = in_flight
+        registry.record(metric, values, ts, tags, now_ms=now)
+        assert got == snapshot_all(registry)
+    assert baseline  # first crash left data behind, not an empty dir

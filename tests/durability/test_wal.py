@@ -1,0 +1,315 @@
+"""Unit tests for the segmented, checksummed write-ahead log."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.durability.faults import CrashInjector, InjectedIOError
+from repro.durability.wal import (
+    RECORD_HEADER_SIZE,
+    SEGMENT_HEADER_SIZE,
+    FlushPolicy,
+    WriteAheadLog,
+    list_segments,
+    scan_segment,
+    segment_path,
+)
+from repro.errors import InvalidValueError, WALError
+
+
+def payloads_of(directory, after_seq=0):
+    wal = WriteAheadLog(directory)
+    return list(wal.replay(after_seq=after_seq))
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.append(b"one") == 1
+            assert wal.append(b"two") == 2
+            assert wal.append(b"three") == 3
+        assert payloads_of(tmp_path) == [
+            (1, b"one"), (2, b"two"), (3, b"three"),
+        ]
+
+    def test_replay_after_seq(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for index in range(5):
+                wal.append(f"r{index}".encode())
+        assert payloads_of(tmp_path, after_seq=3) == [
+            (4, b"r3"), (5, b"r4"),
+        ]
+
+    def test_empty_payload_round_trips(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(b"")
+        assert payloads_of(tmp_path) == [(1, b"")]
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(b"a")
+            wal.append(b"b")
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.last_seq == 2
+            assert wal.append(b"c") == 3
+        assert [seq for seq, _ in payloads_of(tmp_path)] == [1, 2, 3]
+
+
+class TestRotation:
+    def test_rotation_by_size(self, tmp_path):
+        max_bytes = SEGMENT_HEADER_SIZE + 2 * (RECORD_HEADER_SIZE + 8)
+        with WriteAheadLog(tmp_path, segment_max_bytes=max_bytes) as wal:
+            for index in range(5):
+                wal.append(b"x" * 8)
+        segments = list_segments(tmp_path)
+        assert len(segments) > 1
+        assert payloads_of(tmp_path) == [
+            (index + 1, b"x" * 8) for index in range(5)
+        ]
+
+    def test_explicit_rotate_seals_segment(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(b"a")
+            wal.rotate()
+            wal.append(b"b")
+        names = [p.name for p in list_segments(tmp_path)]
+        assert names == [
+            segment_path(tmp_path, 1).name,
+            segment_path(tmp_path, 2).name,
+        ]
+        assert payloads_of(tmp_path) == [(1, b"a"), (2, b"b")]
+
+    def test_rotate_empty_segment_is_noop(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.rotate()
+            wal.rotate()
+            wal.append(b"a")
+        assert len(list_segments(tmp_path)) == 1
+
+    def test_oversized_record_still_fits(self, tmp_path):
+        small = SEGMENT_HEADER_SIZE + RECORD_HEADER_SIZE + 4
+        big = b"y" * 64
+        with WriteAheadLog(tmp_path, segment_max_bytes=small) as wal:
+            wal.append(big)
+            wal.append(big)
+        assert payloads_of(tmp_path) == [(1, big), (2, big)]
+
+
+class TestTornTail:
+    def _write_then_tear(self, tmp_path, tear_bytes):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(b"keep-1")
+            wal.append(b"keep-2")
+            wal.append(b"torn-record")
+        path = list_segments(tmp_path)[-1]
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - tear_bytes])
+
+    @pytest.mark.parametrize("tear_bytes", [1, 5, 11, 15])
+    def test_torn_final_record_is_dropped(self, tmp_path, tear_bytes):
+        self._write_then_tear(tmp_path, tear_bytes)
+        assert payloads_of(tmp_path) == [(1, b"keep-1"), (2, b"keep-2")]
+
+    def test_open_repairs_torn_tail(self, tmp_path):
+        self._write_then_tear(tmp_path, 4)
+        wal = WriteAheadLog(tmp_path).open()
+        try:
+            assert wal.torn_bytes_repaired > 0
+            assert wal.last_seq == 2
+            assert wal.append(b"after-repair") == 3
+        finally:
+            wal.close()
+        assert payloads_of(tmp_path) == [
+            (1, b"keep-1"), (2, b"keep-2"), (3, b"after-repair"),
+        ]
+
+    def test_corrupt_crc_in_final_segment_is_torn(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(b"good")
+            wal.append(b"flipped")
+        path = list_segments(tmp_path)[-1]
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the last record
+        path.write_bytes(bytes(data))
+        assert payloads_of(tmp_path) == [(1, b"good")]
+
+    def test_corruption_in_sealed_segment_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(b"sealed")
+            wal.rotate()
+            wal.append(b"active")
+        sealed = list_segments(tmp_path)[0]
+        data = bytearray(sealed.read_bytes())
+        data[-1] ^= 0xFF
+        sealed.write_bytes(bytes(data))
+        with pytest.raises(WALError):
+            payloads_of(tmp_path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(b"x")
+        path = list_segments(tmp_path)[0]
+        path.write_bytes(b"NOPE" + path.read_bytes()[4:])
+        with pytest.raises(WALError):
+            payloads_of(tmp_path)
+
+    def test_header_mismatch_with_name_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(b"x")
+        path = list_segments(tmp_path)[0]
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<Q", data, 5, 42)  # claim first_seq=42
+        path.write_bytes(bytes(data))
+        with pytest.raises(WALError):
+            payloads_of(tmp_path)
+
+    def test_gap_between_segments_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(b"a")
+            wal.rotate()
+            wal.append(b"b")
+            wal.rotate()
+            wal.append(b"c")
+        middle = list_segments(tmp_path)[1]
+        middle.unlink()
+        with pytest.raises(WALError):
+            payloads_of(tmp_path)
+
+
+class TestFlushPolicy:
+    def test_validation(self):
+        with pytest.raises(InvalidValueError):
+            FlushPolicy(mode="sometimes")
+        with pytest.raises(InvalidValueError):
+            FlushPolicy(batch_records=0)
+
+    def test_always_syncs_every_append(self, tmp_path):
+        with WriteAheadLog(
+            tmp_path, flush_policy=FlushPolicy(mode="always")
+        ) as wal:
+            wal.append(b"a")
+            assert wal.pending_sync_records == 0
+
+    def test_batch_defers_until_threshold(self, tmp_path):
+        policy = FlushPolicy(mode="batch", batch_records=3)
+        with WriteAheadLog(tmp_path, flush_policy=policy) as wal:
+            wal.append(b"a")
+            wal.append(b"b")
+            assert wal.pending_sync_records == 2
+            wal.append(b"c")
+            assert wal.pending_sync_records == 0
+
+    def test_batch_bytes_threshold(self, tmp_path):
+        policy = FlushPolicy(
+            mode="batch", batch_records=10_000, batch_bytes=64
+        )
+        with WriteAheadLog(tmp_path, flush_policy=policy) as wal:
+            wal.append(b"z" * 100)
+            assert wal.pending_sync_records == 0
+
+    def test_os_never_syncs_until_forced(self, tmp_path):
+        with WriteAheadLog(
+            tmp_path, flush_policy=FlushPolicy(mode="os")
+        ) as wal:
+            for _ in range(100):
+                wal.append(b"a")
+            assert wal.pending_sync_records == 100
+            wal.sync()
+            assert wal.pending_sync_records == 0
+
+
+class TestFaultPoisoning:
+    def test_fsync_failure_poisons(self, tmp_path):
+        injector = CrashInjector("wal.fsync")
+        wal = WriteAheadLog(tmp_path, fault=injector).open()
+        try:
+            with pytest.raises(InjectedIOError):
+                wal.append(b"doomed")
+            with pytest.raises(WALError):
+                wal.append(b"refused")
+        finally:
+            wal.close()
+
+    def test_partial_append_leaves_recoverable_torn_tail(self, tmp_path):
+        injector = CrashInjector("wal.append.partial", countdown=3)
+        wal = WriteAheadLog(tmp_path, fault=injector).open()
+        try:
+            wal.append(b"one")
+            wal.append(b"two")
+            with pytest.raises(InjectedIOError):
+                wal.append(b"torn")
+        finally:
+            wal.close()
+        # The torn record header is on disk; open() must repair it.
+        recovered = WriteAheadLog(tmp_path).open()
+        try:
+            assert recovered.last_seq == 2
+            assert recovered.torn_bytes_repaired == RECORD_HEADER_SIZE
+        finally:
+            recovered.close()
+
+    def test_reopen_after_poison_recovers(self, tmp_path):
+        injector = CrashInjector("wal.append", countdown=2)
+        wal = WriteAheadLog(tmp_path, fault=injector).open()
+        try:
+            wal.append(b"ok")
+            with pytest.raises(InjectedIOError):
+                wal.append(b"fails")
+        finally:
+            wal.close()
+        with WriteAheadLog(tmp_path) as recovered:
+            assert recovered.last_seq == 1
+            assert recovered.append(b"continues") == 2
+
+
+class TestTruncation:
+    def _three_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path).open()
+        wal.append(b"a")  # seq 1
+        wal.rotate()
+        wal.append(b"b")  # seq 2
+        wal.rotate()
+        wal.append(b"c")  # seq 3
+        return wal
+
+    def test_truncate_below_watermark(self, tmp_path):
+        wal = self._three_segments(tmp_path)
+        try:
+            deleted = wal.truncate_upto(2)
+            assert len(deleted) == 2
+            assert [seq for seq, _ in wal.replay()] == [3]
+        finally:
+            wal.close()
+
+    def test_partial_coverage_keeps_segment(self, tmp_path):
+        wal = self._three_segments(tmp_path)
+        try:
+            deleted = wal.truncate_upto(1)
+            assert len(deleted) == 1
+            assert [seq for seq, _ in wal.replay()] == [2, 3]
+        finally:
+            wal.close()
+
+    def test_active_segment_never_deleted(self, tmp_path):
+        wal = self._three_segments(tmp_path)
+        try:
+            wal.truncate_upto(10_000)
+            assert len(list_segments(tmp_path)) == 1
+            assert wal.append(b"d") == 4
+        finally:
+            wal.close()
+
+
+class TestScanSegment:
+    def test_scan_reports_shape(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(b"abc")
+            wal.append(b"defgh")
+        path = list_segments(tmp_path)[0]
+        scan, payloads = scan_segment(path, is_final=True)
+        assert scan.records == 2
+        assert scan.torn_bytes == 0
+        assert payloads == [b"abc", b"defgh"]
+        assert scan.valid_bytes == path.stat().st_size

@@ -1,0 +1,217 @@
+"""End-to-end durability: TCP server with WAL + checkpoints attached."""
+
+import numpy as np
+import pytest
+
+from repro.core import DDSketch
+from repro.durability import DurabilityManager, FlushPolicy
+from repro.errors import ServiceError
+from repro.service import (
+    ManualClock,
+    MetricRegistry,
+    QuantileClient,
+    QuantileServer,
+)
+
+
+def make_registry(clock):
+    return MetricRegistry(
+        sketch_factory=lambda: DDSketch(alpha=0.01),
+        clock=clock,
+        partition_ms=1_000.0,
+        fine_partitions=100_000,
+    )
+
+
+def make_manager(data_dir, clock, **kwargs):
+    kwargs.setdefault("flush_policy", FlushPolicy(mode="always"))
+    kwargs.setdefault("checkpoint_interval_ms", 0.0)
+    return DurabilityManager(data_dir, clock=clock, **kwargs)
+
+
+def serve(data_dir, clock, **kwargs):
+    return QuantileServer(
+        make_registry(clock),
+        durability=make_manager(data_dir, clock, **kwargs),
+    )
+
+
+def connect(server):
+    host, port = server.address
+    return QuantileClient(host, port, timeout=5.0, retries=0)
+
+
+class TestRestartRoundTrip:
+    def test_queries_identical_after_restart(self, tmp_path, rng):
+        values = rng.lognormal(4.6, 0.5, 3_000)
+        qs = (0.1, 0.5, 0.9, 0.99)
+        with serve(tmp_path, ManualClock(0.0)) as server:
+            with connect(server) as client:
+                for start in range(0, 3_000, 500):
+                    client.ingest(
+                        "lat", values[start : start + 500],
+                        timestamp_ms=0.0,
+                    )
+                client.flush()
+                before = [client.quantile("lat", q) for q in qs]
+                rank_before = client.rank("lat", 100.0)
+                count_before = client.count("lat")
+
+        with serve(tmp_path, ManualClock(0.0)) as server:
+            with connect(server) as client:
+                assert client.count("lat") == count_before
+                after = [client.quantile("lat", q) for q in qs]
+                assert after == before
+                assert client.rank("lat", 100.0) == rank_before
+
+    def test_restart_after_checkpoint_plus_suffix(self, tmp_path, rng):
+        with serve(tmp_path, ManualClock(0.0)) as server:
+            with connect(server) as client:
+                client.ingest(
+                    "lat", rng.pareto(1.0, 1_000) + 1.0, timestamp_ms=0.0
+                )
+                client.flush()
+                assert client.checkpoint() == 1
+                client.ingest(
+                    "lat", rng.pareto(1.0, 500) + 1.0, timestamp_ms=0.0
+                )
+                client.flush()
+                count_before = client.count("lat")
+                median_before = client.quantile("lat", 0.5)
+
+        with serve(tmp_path, ManualClock(0.0)) as server:
+            # Clean shutdown wrote a final checkpoint at seq 2, so the
+            # restart recovers from it with nothing left to replay.
+            report = server.durability.last_recovery
+            assert report.checkpoint_seq == 2
+            assert report.records_replayed == 0
+            with connect(server) as client:
+                assert client.count("lat") == count_before == 1_500
+                assert client.quantile("lat", 0.5) == median_before
+
+    def test_restart_preserves_tagged_series(self, tmp_path):
+        with serve(tmp_path, ManualClock(0.0)) as server:
+            with connect(server) as client:
+                client.ingest(
+                    "lat", [1.0, 2.0], timestamp_ms=0.0,
+                    tags={"svc": "api"},
+                )
+                client.ingest(
+                    "lat", [10.0, 20.0], timestamp_ms=0.0,
+                    tags={"svc": "db"},
+                )
+                client.flush()
+
+        with serve(tmp_path, ManualClock(0.0)) as server:
+            with connect(server) as client:
+                assert client.count("lat", tags={"svc": "api"}) == 2
+                assert client.count("lat", tags={"svc": "db"}) == 2
+
+
+class TestCheckpointOp:
+    def test_checkpoint_op_requires_durability(self):
+        clock = ManualClock(0.0)
+        with QuantileServer(make_registry(clock)) as server:
+            with connect(server) as client:
+                with pytest.raises(ServiceError):
+                    client.checkpoint()
+
+    def test_checkpoint_op_reports_watermark(self, tmp_path):
+        with serve(tmp_path, ManualClock(0.0)) as server:
+            with connect(server) as client:
+                client.ingest("lat", [1.0], timestamp_ms=0.0)
+                client.ingest("lat", [2.0], timestamp_ms=0.0)
+                client.flush()
+                assert client.checkpoint() == 2
+
+    def test_stats_include_durability_counters(self, tmp_path):
+        with serve(tmp_path, ManualClock(0.0)) as server:
+            with connect(server) as client:
+                client.ingest("lat", [1.0], timestamp_ms=0.0)
+                client.flush()
+                stats = client.stats()
+                assert stats["durability_last_seq"] == 1
+                assert stats["durability_records_journaled"] == 1
+                client.checkpoint()
+                stats = client.stats()
+                assert stats["durability_checkpoint_seq"] == 1
+                assert stats["durability_checkpoints_written"] == 1
+
+    def test_stats_without_durability_omit_counters(self):
+        clock = ManualClock(0.0)
+        with QuantileServer(make_registry(clock)) as server:
+            with connect(server) as client:
+                assert "durability_last_seq" not in client.stats()
+
+
+class TestCheckpointCadence:
+    """ManualClock drives the cadence: zero sleeps in this class."""
+
+    def test_ingest_triggers_due_checkpoint(self, tmp_path):
+        clock = ManualClock(0.0)
+        server = serve(
+            tmp_path, clock, checkpoint_interval_ms=10_000.0
+        )
+        with server:
+            with connect(server) as client:
+                client.ingest("lat", [1.0], timestamp_ms=0.0)
+                client.flush()
+                assert server.durability.last_checkpoint_seq == 0
+                clock.advance(10_001.0)
+                # The next acked ingest notices the elapsed interval.
+                client.ingest("lat", [2.0], timestamp_ms=0.0)
+                client.flush()
+                assert server.durability.last_checkpoint_seq >= 1
+
+    def test_no_checkpoint_before_interval(self, tmp_path):
+        clock = ManualClock(0.0)
+        server = serve(
+            tmp_path, clock, checkpoint_interval_ms=10_000.0
+        )
+        with server:
+            with connect(server) as client:
+                for _ in range(5):
+                    client.ingest("lat", [1.0], timestamp_ms=0.0)
+                    clock.advance(100.0)
+                client.flush()
+                assert server.durability.last_checkpoint_seq == 0
+
+    def test_stop_writes_final_checkpoint(self, tmp_path):
+        clock = ManualClock(0.0)
+        with serve(tmp_path, clock) as server:
+            with connect(server) as client:
+                client.ingest("lat", [1.0], timestamp_ms=0.0)
+                client.flush()
+        # Restart recovers from the shutdown checkpoint, no replay.
+        with serve(tmp_path, ManualClock(0.0)) as server:
+            report = server.durability.last_recovery
+            assert report.checkpoint_seq == 1
+            assert report.records_replayed == 0
+
+
+class TestClientReconnect:
+    def test_reconnect_after_server_restart(self, tmp_path):
+        with serve(tmp_path, ManualClock(0.0)) as server:
+            host, port = server.address
+            client = QuantileClient(host, port, timeout=5.0, retries=0)
+            client.connect()
+            client.ingest("lat", [1.0, 2.0, 3.0], timestamp_ms=0.0)
+            client.flush()
+        # Server gone; a fresh one takes over on a new port.
+        with serve(tmp_path, ManualClock(0.0)) as server:
+            host, port = server.address
+            client.reconnect(host, port)
+            try:
+                assert client.count("lat") == 3
+            finally:
+                client.close()
+
+
+class TestDurabilityOffUnchanged:
+    def test_plain_server_still_serves(self):
+        clock = ManualClock(0.0)
+        with QuantileServer(make_registry(clock)) as server:
+            with connect(server) as client:
+                client.ingest("lat", [5.0], timestamp_ms=0.0)
+                client.flush()
+                assert client.count("lat") == 1
