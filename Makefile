@@ -2,7 +2,8 @@ PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
 .PHONY: help test-fast test-all lint analysis typecheck bench-parallel \
-	serve bench-service obs-bench durability-bench crash-test
+	serve bench-service obs-bench durability-bench crash-test \
+	bench-ingest
 
 help:
 	@echo "Targets:"
@@ -14,6 +15,7 @@ help:
 	@echo "  bench-parallel parallel-scaling micro-benchmark"
 	@echo "  serve          run the quantile service TCP server (port 7107)"
 	@echo "  bench-service  quantile-service ingest/query/overload benchmark"
+	@echo "  bench-ingest   batch-ingestion throughput benchmark (>=5x geomean gate)"
 	@echo "  obs-bench      observability overhead benchmark (<5% disabled gate)"
 	@echo "  durability-bench WAL/checkpoint cost benchmark (<5% durability-off gate)"
 	@echo "  crash-test     crash-consistency sweep + SIGKILL process smoke"
@@ -54,6 +56,13 @@ serve:
 
 bench-service:
 	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_service.py
+
+# The batch-ingestion gate behind BENCH_ingest.json: scalar-vs-batch
+# for every registry sketch (>=5x geomean at full scale), buffered
+# concurrent ingestion, and multi-worker TCP server scaling. Add
+# INGEST_BENCH_ARGS="--smoke --output DIR" for the CI-sized run.
+bench-ingest:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_ingest.py $(INGEST_BENCH_ARGS)
 
 # Proves the observability layer's cost contract: the instrumented
 # ingest loop with telemetry disabled stays within 5% of an

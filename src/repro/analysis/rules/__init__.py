@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.analysis.rules.contract import (
+    BatchUpdateVectorisedRule,
     RegistryMembershipRule,
     SketchInterfaceRule,
     UpdateObservesRule,
@@ -40,6 +41,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SketchInterfaceRule(),
     UpdateObservesRule(),
     RegistryMembershipRule(),
+    BatchUpdateVectorisedRule(),
     LockDisciplineRule(),
     BareExceptRule(),
     SilentSwallowRule(),

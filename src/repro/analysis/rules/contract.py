@@ -2,7 +2,7 @@
 
 The experimental comparison is only fair if every sketch exposes the
 same surface (Sec 2.1's operations) and maintains the same bookkeeping
-the differential harness relies on.  Three checks encode that:
+the differential harness relies on.  Four checks encode that:
 
 * ``SK001`` — a concrete ``QuantileSketch`` subclass must define the
   four abstract operations (``update``, ``merge``, ``quantile``,
@@ -14,6 +14,12 @@ the differential harness relies on.  Three checks encode that:
   (transitively), e.g. DCS's ``update`` → ``update_batch``.  A sketch
   with a genuinely different accounting documents why with
   ``# repro: noqa[SK002]``.
+* ``SK004`` — an overridden ``update_batch`` must not loop over
+  per-item ``self.update(...)`` calls: that silently reverts the
+  vectorised hot path (the per-item fallback lives in the abstract
+  base, and ``BENCH_ingest.json`` gates on the fast paths staying
+  fast).  The equivalence battery keeps the fast paths honest; this
+  rule keeps them *present*.
 * ``SK003`` — every concrete sketch in ``repro.core`` must be
   registered in ``repro.core.registry``'s ``SKETCH_CLASSES`` so the
   benchmark harness, serialization codecs and conformance tests
@@ -203,6 +209,57 @@ class UpdateObservesRule(Rule):
                     "_observe_batch — min/max/count bookkeeping (and "
                     "every query built on it) will be wrong",
                 )
+
+
+class BatchUpdateVectorisedRule(Rule):
+    code = "SK004"
+    name = "batch-update-vectorised"
+    description = (
+        "an overridden update_batch must not loop over per-item "
+        "self.update(...) calls — that silently reverts the vectorised "
+        "hot path the ingest benchmarks gate on"
+    )
+    scopes = ("repro.core", "repro.parallel")
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            # The abstract base is the one legitimate home of the
+            # per-item fallback loop; concrete sketches must not
+            # regress to it.
+            if not _is_sketch_class(node) or _is_abstract(node):
+                continue
+            batch = _methods(node).get("update_batch")
+            if batch is None:
+                continue
+            for loop in ast.walk(batch):
+                if not isinstance(loop, (ast.For, ast.While)):
+                    continue
+                if "update" in _loop_self_calls(loop):
+                    yield self.finding(
+                        module, loop,
+                        f"{node.name}.update_batch loops over "
+                        "self.update(...) — the per-item scalar path; "
+                        "vectorise it (see base.as_float_batch / "
+                        "_observe_batch) or drop the override",
+                    )
+
+
+def _loop_self_calls(loop: ast.For | ast.While) -> set[str]:
+    """Names of ``self.<method>(...)`` calls inside a loop body."""
+    calls: set[str] = set()
+    for node in ast.walk(loop):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            calls.add(node.func.attr)
+    return calls
 
 
 class RegistryMembershipRule(Rule):

@@ -51,6 +51,31 @@ def _reject_nan_batch(values: np.ndarray) -> None:
         raise InvalidValueError("batch contains NaN; nothing ingested")
 
 
+def as_float_batch(
+    values: "Sequence[float] | np.ndarray", require_finite: bool = True
+) -> np.ndarray:
+    """Normalise a batch to a flat float64 array, validated exactly once.
+
+    Every ``update_batch`` fast path starts here: the whole batch is
+    scanned *before* any sketch state mutates, so a poisoned batch is
+    rejected atomically — no prefix of it is applied.  With
+    *require_finite* (every registry sketch) ±inf is rejected alongside
+    NaN, matching the scalar ``update`` policy; without it only NaN is
+    fatal, mirroring :func:`_reject_nan_batch`.
+    """
+    array = np.asarray(values, dtype=np.float64).ravel()
+    if array.size == 0:
+        return array
+    if require_finite:
+        if not bool(np.isfinite(array).all()):
+            raise InvalidValueError(
+                "batch contains non-finite values; nothing ingested"
+            )
+    else:
+        _reject_nan_batch(array)
+    return array
+
+
 def validate_quantile(q: float) -> float:
     """Validate that *q* lies in (0, 1] and return it as a float.
 
@@ -91,16 +116,18 @@ class QuantileSketch(abc.ABC):
     def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
         """Insert many values.
 
-        The default implementation loops over :meth:`update`; sketches
-        with vectorisable ingestion (DDSketch, UDDSketch, Moments Sketch)
-        override this with a numpy fast path.  The batch is pre-scanned
-        for NaN so a poisoned batch is rejected atomically — no prefix
-        of it is applied.
+        The default implementation loops over :meth:`update`; every
+        registry sketch overrides this with a vectorised fast path that
+        validates once via :func:`as_float_batch` and updates the
+        ``_count``/``_min``/``_max`` bookkeeping once per batch via
+        :meth:`_observe_batch`.  The batch is pre-scanned for NaN so a
+        poisoned batch is rejected atomically — no prefix of it is
+        applied.  ``tolist()`` hands the loop plain Python floats, so
+        the fallback never pays a per-item numpy-scalar conversion.
         """
-        array = np.asarray(values, dtype=np.float64).ravel()
-        _reject_nan_batch(array)
-        for value in array:
-            self.update(float(value))
+        array = as_float_batch(values, require_finite=False)
+        for value in array.tolist():
+            self.update(value)
 
     def _observe(self, value: float) -> None:
         """Record the min/max/count bookkeeping shared by all sketches.
@@ -121,11 +148,19 @@ class QuantileSketch(abc.ABC):
         if value > self._max:
             self._max = value
 
-    def _observe_batch(self, values: np.ndarray) -> None:
-        """Batched :meth:`_observe`; rejects NaN before mutating state."""
+    def _observe_batch(
+        self, values: np.ndarray, checked: bool = False
+    ) -> None:
+        """Batched :meth:`_observe`; rejects NaN before mutating state.
+
+        Callers that already validated the batch through
+        :func:`as_float_batch` pass ``checked=True`` to skip the
+        re-scan, so validation work happens once per batch.
+        """
         if values.size == 0:
             return
-        _reject_nan_batch(values)
+        if not checked:
+            _reject_nan_batch(values)
         self._count += int(values.size)
         lo = float(values.min())
         hi = float(values.max())

@@ -116,9 +116,9 @@ class DyadicCountSketch(QuantileSketch):
         values = np.asarray(values, dtype=np.float64).ravel()
         if values.size == 0:
             return
-        keys = self._validate_keys(values)
+        keys = self._validate_keys(values)  # rejects non-finite up front
         self._apply(keys, +1)
-        self._observe_batch(np.floor(values))
+        self._observe_batch(keys.astype(np.float64), checked=True)
 
     def delete(self, value: float) -> None:
         """Remove one occurrence of *value* (turnstile update).

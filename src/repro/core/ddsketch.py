@@ -19,7 +19,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.base import QuantileSketch, validate_quantile
+from repro.core.base import (
+    QuantileSketch,
+    as_float_batch,
+    validate_quantile,
+)
 from repro.core.mapping import (
     MIN_INDEXABLE_VALUE,
     LogarithmicMapping,
@@ -95,11 +99,9 @@ class DDSketch(QuantileSketch):
         self._observe(value)
 
     def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
-        values = np.asarray(values, dtype=np.float64).ravel()
+        values = as_float_batch(values)
         if values.size == 0:
             return
-        if not np.isfinite(values).all():
-            raise InvalidValueError("batch contains non-finite values")
         positive = values[values > MIN_INDEXABLE_VALUE]
         negative = values[values < -MIN_INDEXABLE_VALUE]
         n_zero = values.size - positive.size - negative.size
@@ -108,7 +110,7 @@ class DDSketch(QuantileSketch):
         if negative.size:
             self._negative.add_batch(self._mapping.index_batch(-negative))
         self._zero_count += int(n_zero)
-        self._observe_batch(values)
+        self._observe_batch(values, checked=True)
 
     # ------------------------------------------------------------------
     # Queries

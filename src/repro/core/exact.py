@@ -14,7 +14,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.base import QuantileSketch, validate_quantile
+from repro.core.base import (
+    QuantileSketch,
+    as_float_batch,
+    validate_quantile,
+)
 from repro.errors import IncompatibleSketchError, InvalidValueError
 
 
@@ -37,14 +41,12 @@ class ExactQuantiles(QuantileSketch):
         self._observe(value)
 
     def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
-        values = np.asarray(values, dtype=np.float64).ravel()
+        values = as_float_batch(values)
         if values.size == 0:
             return
-        if not np.isfinite(values).all():
-            raise InvalidValueError("batch contains non-finite values")
         self._chunks.append(values.copy())
         self._sorted = None
-        self._observe_batch(values)
+        self._observe_batch(values, checked=True)
 
     def merge(self, other: QuantileSketch) -> None:
         other = self._merge_operand(other)

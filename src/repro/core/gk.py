@@ -20,7 +20,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.base import QuantileSketch, validate_quantile
+from repro.core.base import (
+    QuantileSketch,
+    as_float_batch,
+    validate_quantile,
+)
 from repro.errors import IncompatibleSketchError, InvalidValueError
 
 DEFAULT_EPSILON = 0.01
@@ -82,11 +86,92 @@ class GKSketch(QuantileSketch):
             self._since_compress = 0
 
     def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
-        values = np.asarray(values, dtype=np.float64).ravel()
-        if values.size and not np.isfinite(values).all():
-            raise InvalidValueError("batch contains non-finite values")
-        for value in values:
-            self.update(float(value))
+        """Vectorised ingest that replays the scalar schedule exactly.
+
+        Between two compression passes the summary only *gains* tuples,
+        so a whole run of inserts can be merged in one sorted sweep —
+        provided each item still gets the delta the scalar path would
+        have assigned (a function of the stream count *at its own
+        insert time* and whether it was an extremum *then*), and the
+        compression pass still fires after every ``1/(2*eps)``-th
+        insert.  Chunking by the distance to the next compression keeps
+        both, so batch and scalar ingestion produce bit-identical
+        summaries.
+        """
+        values = as_float_batch(values)
+        if values.size == 0:
+            return
+        period = max(int(1.0 / (2.0 * self.epsilon)), 1)
+        eps2 = 2.0 * self.epsilon
+        n = int(values.size)
+        pos = 0
+        while pos < n:
+            room = period - self._since_compress
+            chunk = values[pos : pos + room]
+            m = int(chunk.size)
+            base = self._count
+            self._observe_batch(chunk, checked=True)
+            # Delta as assigned at each item's own insert time; an item
+            # that was an extremum of everything inserted before it
+            # (summary plus earlier chunk items) has exactly-known rank.
+            deltas = np.maximum(
+                np.floor(
+                    eps2 * (base + 1 + np.arange(m, dtype=np.float64))
+                ).astype(np.int64)
+                - 1,
+                0,
+            )
+            if self._values:
+                lo, hi = self._values[0], self._values[-1]
+            else:
+                lo, hi = math.inf, -math.inf
+            prev_min = np.empty(m)
+            prev_max = np.empty(m)
+            prev_min[0] = lo
+            prev_max[0] = hi
+            if m > 1:
+                np.minimum(
+                    np.minimum.accumulate(chunk[:-1]), lo,
+                    out=prev_min[1:],
+                )
+                np.maximum(
+                    np.maximum.accumulate(chunk[:-1]), hi,
+                    out=prev_max[1:],
+                )
+            deltas[(chunk < prev_min) | (chunk >= prev_max)] = 0
+            # Stable sort keeps stream order among equal values, which
+            # is where bisect_right would have put them.
+            order = np.argsort(chunk, kind="stable")
+            svals = chunk[order].tolist()
+            sdeltas = deltas[order].tolist()
+            positions = np.searchsorted(
+                np.asarray(self._values, dtype=np.float64),
+                chunk[order],
+                side="right",
+            ).tolist()
+            tuples = self._tuples
+            old_values = self._values
+            merged: list[_Tuple] = []
+            merged_values: list[float] = []
+            prev = 0
+            for value, delta, insert_at in zip(
+                svals, sdeltas, positions
+            ):
+                if insert_at > prev:
+                    merged.extend(tuples[prev:insert_at])
+                    merged_values.extend(old_values[prev:insert_at])
+                    prev = insert_at
+                merged.append(_Tuple(value, 1, delta))
+                merged_values.append(value)
+            merged.extend(tuples[prev:])
+            merged_values.extend(old_values[prev:])
+            self._tuples = merged
+            self._values = merged_values
+            self._since_compress += m
+            pos += m
+            if self._since_compress >= period:
+                self._compress()
+                self._since_compress = 0
 
     def _compress(self) -> None:
         threshold = 2.0 * self.epsilon * self._count

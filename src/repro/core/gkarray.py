@@ -11,12 +11,17 @@ the same ``epsilon`` additive rank bound as GK.
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Sequence
 
 import numpy as np
 
-from repro.core.base import QuantileSketch, validate_quantile
+from repro.core.base import (
+    QuantileSketch,
+    as_float_batch,
+    validate_quantile,
+)
 from repro.core.gk import _Tuple
 from repro.errors import IncompatibleSketchError, InvalidValueError
 
@@ -56,6 +61,10 @@ class GKArray(QuantileSketch):
             )
         self.buffer_size = int(buffer_size)
         self._tuples: list[_Tuple] = []
+        # Sorted mirror of the tuple values, so the flush sweep can
+        # compute merge positions with one vectorised searchsorted
+        # instead of walking the summary per incoming item.
+        self._values: list[float] = []
         self._buffer: list[float] = []
 
     # ------------------------------------------------------------------
@@ -72,57 +81,71 @@ class GKArray(QuantileSketch):
             self._flush()
 
     def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
-        values = np.asarray(values, dtype=np.float64).ravel()
+        values = as_float_batch(values)
         if values.size == 0:
             return
-        if not np.isfinite(values).all():
-            raise InvalidValueError("batch contains non-finite values")
         # Flush in buffer-size chunks so the rank-uncertainty (delta)
         # assigned to each sweep reflects the stream size at that point
         # — one monolithic flush would pin every tuple at the full
         # 2*eps*n band and leave nothing compressible.
+        total = int(values.size)
         pos = 0
-        while pos < values.size:
+        while pos < total:
             room = self.buffer_size - len(self._buffer)
             chunk = values[pos : pos + room]
-            self._observe_batch(chunk)
+            self._observe_batch(chunk, checked=True)
             self._buffer.extend(chunk.tolist())
             pos += int(chunk.size)
             if len(self._buffer) >= self.buffer_size:
                 self._flush()
 
     def _flush(self) -> None:
-        """Merge the sorted buffer into the summary in one sweep."""
+        """Merge the sorted buffer into the summary in one sweep.
+
+        Merge positions come from ``bisect_right`` against the sorted
+        value mirror (strictly-less comparison, so ties land after the
+        existing tuples exactly as the scalar merge placed them), and
+        only the first/last incoming item can claim the exactly-known
+        rank (delta 0) of a new extremum.  The merged lists are rebuilt
+        with slice extends rather than a per-item merge walk.
+        """
         if not self._buffer:
             return
         incoming = sorted(self._buffer)
         self._buffer.clear()
         delta = max(int(math.floor(2.0 * self.epsilon * self._count)) - 1, 0)
-        merged: list[_Tuple] = []
-        i = j = 0
         tuples = self._tuples
-        while i < len(tuples) or j < len(incoming):
-            take_new = j < len(incoming) and (
-                i == len(tuples) or incoming[j] < tuples[i].value
-            )
-            if take_new:
-                is_extreme = (
-                    not merged
-                    or (j == len(incoming) - 1 and i == len(tuples))
-                )
-                merged.append(
-                    _Tuple(incoming[j], 1, 0 if is_extreme else delta)
-                )
-                j += 1
-            else:
-                merged.append(tuples[i])
-                i += 1
+        old_values = self._values
+        positions = [
+            bisect.bisect_right(old_values, value) for value in incoming
+        ]
+        deltas = [delta] * len(incoming)
+        if positions[0] == 0:
+            deltas[0] = 0  # new minimum: rank known exactly
+        if positions[-1] == len(old_values):
+            deltas[-1] = 0  # new maximum
+        merged: list[_Tuple] = []
+        merged_values: list[float] = []
+        prev = 0
+        for value, item_delta, insert_at in zip(
+            incoming, deltas, positions
+        ):
+            if insert_at > prev:
+                merged.extend(tuples[prev:insert_at])
+                merged_values.extend(old_values[prev:insert_at])
+                prev = insert_at
+            merged.append(_Tuple(value, 1, item_delta))
+            merged_values.append(value)
+        merged.extend(tuples[prev:])
+        merged_values.extend(old_values[prev:])
         self._tuples = merged
+        self._values = merged_values
         self._compress()
 
     def _compress(self) -> None:
         threshold = 2.0 * self.epsilon * self._count
         tuples = self._tuples
+        values = self._values
         i = len(tuples) - 2
         while i >= 1:  # never merge away the minimum
             current = tuples[i]
@@ -130,6 +153,7 @@ class GKArray(QuantileSketch):
             if current.g + nxt.g + nxt.delta <= threshold:
                 nxt.g += current.g
                 del tuples[i]
+                del values[i]
             i -= 1
 
     # ------------------------------------------------------------------
@@ -179,6 +203,7 @@ class GKArray(QuantileSketch):
         if other._buffer:
             other = self._copy_flushed(other)
         merged: list[_Tuple] = []
+        merged_values: list[float] = []
         i = j = 0
         a, b = self._tuples, other._tuples
         while i < len(a) and j < len(b):
@@ -189,11 +214,15 @@ class GKArray(QuantileSketch):
                 item = b[j]
                 j += 1
             merged.append(_Tuple(item.value, item.g, item.delta))
+            merged_values.append(item.value)
         for item in a[i:]:
             merged.append(_Tuple(item.value, item.g, item.delta))
+            merged_values.append(item.value)
         for item in b[j:]:
             merged.append(_Tuple(item.value, item.g, item.delta))
+            merged_values.append(item.value)
         self._tuples = merged
+        self._values = merged_values
         self._merge_bookkeeping(other)
         self._compress()
 
@@ -203,6 +232,7 @@ class GKArray(QuantileSketch):
         clone._tuples = [
             _Tuple(t.value, t.g, t.delta) for t in sketch._tuples
         ]
+        clone._values = [t.value for t in sketch._tuples]
         clone._buffer = list(sketch._buffer)
         clone._count = sketch._count
         clone._min = sketch._min

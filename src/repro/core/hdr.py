@@ -20,7 +20,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.base import QuantileSketch, validate_quantile
+from repro.core.base import (
+    QuantileSketch,
+    as_float_batch,
+    validate_quantile,
+)
 from repro.errors import IncompatibleSketchError, InvalidValueError
 
 DEFAULT_SIGNIFICANT_DIGITS = 2
@@ -131,12 +135,12 @@ class HdrHistogram(QuantileSketch):
         self._observe(value)
 
     def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
-        values = np.asarray(values, dtype=np.float64).ravel()
+        values = as_float_batch(values)
         if values.size == 0:
             return
-        if not np.isfinite(values).all() or (values < 0).any():
+        if bool((values < 0).any()):
             raise InvalidValueError(
-                "batch contains negative or non-finite values"
+                "batch contains negative values"
             )
         if (values > self.highest_trackable_value).any():
             raise InvalidValueError(
@@ -159,7 +163,7 @@ class HdrHistogram(QuantileSketch):
         self._counts += np.bincount(
             indices, minlength=self._counts.size
         ).astype(np.int64)
-        self._observe_batch(values)
+        self._observe_batch(values, checked=True)
 
     # ------------------------------------------------------------------
     # Queries

@@ -22,7 +22,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.base import QuantileSketch, validate_quantile
+from repro.core.base import (
+    QuantileSketch,
+    as_float_batch,
+    validate_quantile,
+)
 from repro.errors import IncompatibleSketchError, InvalidValueError
 
 DEFAULT_MAX_COMPACTOR_SIZE = 350
@@ -63,7 +67,9 @@ class KLLSketch(QuantileSketch):
         self._rng = np.random.default_rng(seed)
         self._compactors: list[list[float]] = [[]]
         self._retained = 0
-        self._capacity_cache = self._capacity(0)
+        self._capacities: list[int] = []
+        self._capacity_cache = 0
+        self._recompute_capacity()
 
     # ------------------------------------------------------------------
     # Capacity schedule
@@ -73,11 +79,11 @@ class KLLSketch(QuantileSketch):
         """Capacity of the compactor at *height*.
 
         The top compactor holds ``k`` items; each level below holds a
-        ``2/3`` fraction of the level above, floored at two.
+        ``2/3`` fraction of the level above, floored at two.  Reads the
+        per-level cache; the schedule only changes when the hierarchy
+        grows, so the compaction scan never redoes the power math.
         """
-        depth = len(self._compactors) - 1 - height
-        cap = math.ceil(self.max_compactor_size * CAPACITY_DECAY ** depth)
-        return max(cap, MIN_CAPACITY)
+        return self._capacities[height]
 
     def _total_capacity(self) -> int:
         """Cached sum of all compactor capacities.
@@ -89,9 +95,17 @@ class KLLSketch(QuantileSketch):
         return self._capacity_cache
 
     def _recompute_capacity(self) -> None:
-        self._capacity_cache = sum(
-            self._capacity(h) for h in range(len(self._compactors))
-        )
+        top = len(self._compactors) - 1
+        self._capacities = [
+            max(
+                math.ceil(
+                    self.max_compactor_size * CAPACITY_DECAY ** (top - h)
+                ),
+                MIN_CAPACITY,
+            )
+            for h in range(len(self._compactors))
+        ]
+        self._capacity_cache = sum(self._capacities)
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -108,23 +122,43 @@ class KLLSketch(QuantileSketch):
             self._compress()
 
     def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
-        values = np.asarray(values, dtype=np.float64).ravel()
+        values = as_float_batch(values)
         if values.size == 0:
             return
-        if not np.isfinite(values).all():
-            raise InvalidValueError("batch contains non-finite values")
-        self._observe_batch(values)
+        self._observe_batch(values, checked=True)
+        # The scalar path compacts only when the *total* retained count
+        # exceeds the total capacity (level 0 may legally overfill in
+        # between), so extending level 0 right up to that trigger and
+        # then compressing once reproduces the per-item compaction
+        # schedule exactly — same states at every compress point, same
+        # RNG draw sequence.
+        # In steady state the next compress point is only a handful of
+        # values away (median chunk ~4 at 10^6+ retained histories), so
+        # the loop below is hot: keep the trigger state in locals and
+        # write it back only around _compress, which mutates it.
+        items = values.tolist()
+        total = len(items)
         level0 = self._compactors[0]
-        room = max(self._capacity(0) - len(level0), 1)
+        extend = level0.extend
+        capacity = self._capacity_cache
+        retained = self._retained
         pos = 0
-        while pos < values.size:
-            chunk = values[pos : pos + room]
-            level0.extend(chunk.tolist())
-            self._retained += int(chunk.size)
-            pos += int(chunk.size)
-            if self._retained > self._total_capacity():
+        while pos < total:
+            end = pos + capacity - retained + 1
+            chunk = items[pos:end] if end < total else (
+                items[pos:] if pos else items
+            )
+            extend(chunk)
+            retained += len(chunk)
+            pos += len(chunk)
+            if retained > capacity:
+                self._retained = retained
                 self._compress()
-            room = max(self._capacity(0) - len(self._compactors[0]), 1)
+                retained = self._retained
+                capacity = self._capacity_cache
+                level0 = self._compactors[0]
+                extend = level0.extend
+        self._retained = retained
 
     # ------------------------------------------------------------------
     # Compaction

@@ -21,7 +21,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.base import QuantileSketch, validate_quantile
+from repro.core.base import (
+    QuantileSketch,
+    as_float_batch,
+    validate_quantile,
+)
 from repro.core.kll import DEFAULT_MAX_COMPACTOR_SIZE, KLLSketch
 from repro.errors import (
     EmptySketchError,
@@ -65,11 +69,11 @@ class KLLPlusMinus(QuantileSketch):
         self._observe(float(value))
 
     def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
-        values = np.asarray(values, dtype=np.float64).ravel()
+        values = as_float_batch(values)
         if values.size == 0:
             return
         self._inserts.update_batch(values)
-        self._observe_batch(values)
+        self._observe_batch(values, checked=True)
 
     def delete(self, value: float) -> None:
         """Remove one previously-inserted occurrence of *value*.

@@ -24,7 +24,11 @@ from typing import Iterable, Sequence
 import numpy as np
 from scipy.special import comb
 
-from repro.core.base import QuantileSketch, validate_quantile
+from repro.core.base import (
+    QuantileSketch,
+    as_float_batch,
+    validate_quantile,
+)
 from repro.core.maxent import (
     MaxEntropySolver,
     MaxEntSolution,
@@ -194,11 +198,14 @@ class MomentsSketch(QuantileSketch):
         self._solution = None
 
     def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
-        values = np.asarray(values, dtype=np.float64).ravel()
+        values = as_float_batch(values)
         if values.size == 0:
             return
-        if not np.isfinite(values).all():
-            raise InvalidValueError("batch contains non-finite values")
+        if self.log_moments and bool((values <= 0).any()):
+            # Checked before any state mutates so rejection is atomic.
+            raise InvalidValueError(
+                "log moments require strictly positive values"
+            )
         transformed = self._apply_transform(values)
         if self._origin is None:
             self._origin = float(transformed[0])
@@ -212,10 +219,6 @@ class MomentsSketch(QuantileSketch):
         self._t_min = min(self._t_min, float(transformed.min()))
         self._t_max = max(self._t_max, float(transformed.max()))
         if self.log_moments:
-            if (values <= 0).any():
-                raise InvalidValueError(
-                    "log moments require strictly positive values"
-                )
             logs = np.log(values)
             if self._log_origin is None:
                 self._log_origin = float(logs[0])
@@ -227,7 +230,7 @@ class MomentsSketch(QuantileSketch):
                     powers = powers * centred
             self._l_min = min(self._l_min, float(logs.min()))
             self._l_max = max(self._l_max, float(logs.max()))
-        self._observe_batch(values)
+        self._observe_batch(values, checked=True)
         self._solution = None
 
     # ------------------------------------------------------------------

@@ -23,7 +23,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.base import QuantileSketch, validate_quantile
+from repro.core.base import (
+    QuantileSketch,
+    as_float_batch,
+    validate_quantile,
+)
 from repro.errors import IncompatibleSketchError, InvalidValueError
 
 DEFAULT_NUM_BUFFERS = 8
@@ -88,12 +92,10 @@ class RandomSketch(QuantileSketch):
             self._seal_active()
 
     def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
-        values = np.asarray(values, dtype=np.float64).ravel()
+        values = as_float_batch(values)
         if values.size == 0:
             return
-        if not np.isfinite(values).all():
-            raise InvalidValueError("batch contains non-finite values")
-        self._observe_batch(values)
+        self._observe_batch(values, checked=True)
         pos = 0
         while pos < values.size:
             room = self.buffer_size - len(self._active)
@@ -120,23 +122,32 @@ class RandomSketch(QuantileSketch):
         self._full.sort(key=lambda buffer: buffer.weight)
         first, second = self._full[0], self._full[1]
         combined_weight = first.weight + second.weight
-        weighted = sorted(
-            [(value, first.weight) for value in first.items]
-            + [(value, second.weight) for value in second.items]
+        merged = np.concatenate(
+            [
+                np.asarray(first.items, dtype=np.float64),
+                np.asarray(second.items, dtype=np.float64),
+            ]
         )
-        total_weight = first.weight * len(first.items) + (
-            second.weight * len(second.items)
+        weights = np.concatenate(
+            [
+                np.full(len(first.items), first.weight, dtype=np.int64),
+                np.full(len(second.items), second.weight, dtype=np.int64),
+            ]
         )
+        order = np.argsort(merged, kind="stable")
+        merged = merged[order]
+        cumulative = np.cumsum(weights[order])
+        total_weight = int(cumulative[-1])
         num_survivors = total_weight // combined_weight
         phase = int(self._rng.integers(combined_weight))
-        survivors: list[float] = []
-        cumulative = 0
-        target = phase
-        for value, weight in weighted:
-            cumulative += weight
-            while len(survivors) < num_survivors and target < cumulative:
-                survivors.append(value)
-                target += combined_weight
+        # Survivor j is the item covering weighted position
+        # phase + j * W of the merged sequence: the first item whose
+        # cumulative weight exceeds the target.
+        targets = phase + combined_weight * np.arange(
+            num_survivors, dtype=np.int64
+        )
+        chosen = np.searchsorted(cumulative, targets, side="right")
+        survivors = merged[chosen].tolist()
         self._full = self._full[2:]
         self._full.append(_Buffer(combined_weight, survivors))
 

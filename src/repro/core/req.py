@@ -22,7 +22,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.base import QuantileSketch, validate_quantile
+from repro.core.base import (
+    QuantileSketch,
+    as_float_batch,
+    validate_quantile,
+)
 from repro.errors import IncompatibleSketchError, InvalidValueError
 
 DEFAULT_NUM_SECTIONS = 30
@@ -177,21 +181,22 @@ class ReqSketch(QuantileSketch):
             self._compress()
 
     def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
-        values = np.asarray(values, dtype=np.float64).ravel()
+        values = as_float_batch(values)
         if values.size == 0:
             return
-        if not np.isfinite(values).all():
-            raise InvalidValueError("batch contains non-finite values")
-        self._observe_batch(values)
+        self._observe_batch(values, checked=True)
+        items = values.tolist()
+        total = len(items)
         pos = 0
-        while pos < values.size:
+        while pos < total:
             level0 = self._compactors[0]
-            room = max(level0.nom_capacity - len(level0.buffer), 1)
-            chunk = values[pos : pos + room]
-            level0.buffer.extend(chunk.tolist())
-            self._retained += int(chunk.size)
-            pos += int(chunk.size)
-            if len(level0.buffer) >= level0.nom_capacity:
+            capacity = level0.nom_capacity
+            room = max(capacity - len(level0.buffer), 1)
+            chunk = items[pos : pos + room]
+            level0.buffer.extend(chunk)
+            self._retained += len(chunk)
+            pos += len(chunk)
+            if len(level0.buffer) >= capacity:
                 self._compress()
 
     def _compress(self) -> None:

@@ -150,10 +150,23 @@ def _write_store(w: _Writer, store: BucketStore) -> None:
         w.u8(_STORE_CODES["collapsing"])
         w.i64(store.max_bins)
         w.u8(1 if store.is_collapsed else 0)
+        keep_floor = store.is_collapsed  # offset doubles as the floor
     else:
         w.u8(_STORE_CODES["dense"])
-    w.i64(store._offset)
-    w.i64_array(store._counts)
+        keep_floor = False
+    # Canonical form: trim allocation slack so the bytes are a function
+    # of the logical bucket contents, not of the array growth history
+    # (which differs between scalar and batch ingestion).  A collapsed
+    # store keeps its leading edge — the offset is its collapse floor.
+    nonzero = np.nonzero(store._counts)[0]
+    if nonzero.size:
+        lo = 0 if keep_floor else int(nonzero[0])
+        hi = int(nonzero[-1]) + 1
+        w.i64(store._offset + lo)
+        w.i64_array(store._counts[lo:hi])
+    else:
+        w.i64(store._offset if keep_floor else 0)
+        w.i64_array(np.zeros(0, dtype=np.int64))
 
 
 def _read_store(r: _Reader) -> BucketStore:
@@ -591,6 +604,7 @@ def _decode_gkarray(r: _Reader) -> GKArray:
         g = r.i64()
         delta = r.i64()
         sketch._tuples.append(_Tuple(value, g, delta))
+        sketch._values.append(value)
     sketch._buffer = r.f64_array().tolist()
     return sketch
 

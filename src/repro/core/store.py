@@ -230,8 +230,16 @@ class DenseStore(BucketStore):
         return clone
 
     def size_bytes(self) -> int:
-        # The count array plus offset/total bookkeeping words.
-        return 8 * self._counts.size + 2 * 8
+        # The retained bucket span plus offset/total bookkeeping words.
+        # Counting the logical span (not the allocated array, whose
+        # round-up slack depends on growth history) keeps the figure a
+        # deterministic function of the ingested data, so scalar- and
+        # batch-fed stores report identically.
+        if self._total == 0:
+            return 2 * 8
+        nonzero = np.nonzero(self._counts)[0]
+        span = int(nonzero[-1]) - int(nonzero[0]) + 1
+        return 8 * span + 2 * 8
 
 
 class CollapsingLowestDenseStore(DenseStore):
@@ -361,9 +369,18 @@ class SparseStore(BucketStore):
         indices = np.asarray(indices, dtype=np.int64)
         if indices.size == 0:
             return
-        unique, counts = np.unique(indices, return_counts=True)
-        for index, count in zip(unique.tolist(), counts.tolist()):
-            self._buckets[index] = self._buckets.get(index, 0) + count
+        buckets = self._buckets
+        if indices.size < 32:
+            # Tiny batches: a dict walk beats np.unique's sort overhead.
+            for index in indices.tolist():
+                buckets[index] = buckets.get(index, 0) + 1
+        else:
+            # One sort aggregates duplicates, then one dict update per
+            # *distinct* bucket — bounded by the store width, not the
+            # batch length.
+            unique, counts = np.unique(indices, return_counts=True)
+            for index, count in zip(unique.tolist(), counts.tolist()):
+                buckets[index] = buckets.get(index, 0) + count
         self._total += int(indices.size)
 
     def items(self) -> Iterator[tuple[int, int]]:
@@ -392,11 +409,16 @@ class SparseStore(BucketStore):
         ``i`` is ``ceil(i / 2)``, consistent with squaring gamma in the
         value mapping (Sec 3.4).
         """
-        collapsed: dict[int, int] = {}
-        for index, count in self._buckets.items():
-            new_index = (index + 1) // 2  # == ceil(index / 2) for ints
-            collapsed[new_index] = collapsed.get(new_index, 0) + count
-        self._buckets = collapsed
+        if not self._buckets:
+            return
+        size = len(self._buckets)
+        indices = np.fromiter(self._buckets.keys(), dtype=np.int64, count=size)
+        counts = np.fromiter(self._buckets.values(), dtype=np.int64, count=size)
+        new_indices = (indices + 1) // 2  # == ceil(index / 2) for ints
+        unique, inverse = np.unique(new_indices, return_inverse=True)
+        summed = np.zeros(unique.size, dtype=np.int64)
+        np.add.at(summed, inverse, counts)
+        self._buckets = dict(zip(unique.tolist(), summed.tolist()))
 
     @property
     def total(self) -> int:

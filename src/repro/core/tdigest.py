@@ -20,7 +20,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.base import QuantileSketch, validate_quantile
+from repro.core.base import (
+    QuantileSketch,
+    as_float_batch,
+    validate_quantile,
+)
 from repro.errors import IncompatibleSketchError, InvalidValueError
 
 DEFAULT_COMPRESSION = 100.0
@@ -64,12 +68,10 @@ class TDigest(QuantileSketch):
             self._flush()
 
     def update_batch(self, values: Sequence[float] | np.ndarray) -> None:
-        values = np.asarray(values, dtype=np.float64).ravel()
+        values = as_float_batch(values)
         if values.size == 0:
             return
-        if not np.isfinite(values).all():
-            raise InvalidValueError("batch contains non-finite values")
-        self._observe_batch(values)
+        self._observe_batch(values, checked=True)
         pos = 0
         while pos < values.size:
             room = self._buffer_limit - len(self._buffer)
@@ -103,35 +105,44 @@ class TDigest(QuantileSketch):
     def _compress(
         self, means: np.ndarray, counts: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Greedily merge weighted points under the k1 size limit."""
+        """Greedily merge weighted points under the k1 size limit.
+
+        The sweep is vectorised: ``k(q)`` is evaluated once for every
+        item's right boundary, and each output centroid claims the
+        longest prefix whose boundary stays within one k-unit of the
+        centroid's left edge (one ``searchsorted`` per centroid).  The
+        loop runs once per *output* centroid — O(delta) iterations —
+        instead of once per input point.
+        """
         order = np.argsort(means, kind="stable")
         means = means[order]
         counts = counts[order]
-        total = int(counts.sum())
+        n = int(means.size)
+        cum = np.cumsum(counts)
+        total = int(cum[-1])
+        # k at each item's right boundary; nondecreasing because cum is.
+        ks = (
+            self.compression
+            / (2.0 * math.pi)
+            * np.arcsin(2.0 * (cum / total) - 1.0)
+        )
+        weighted = np.cumsum(means * counts)
 
         new_means: list[float] = []
         new_counts: list[int] = []
-        emitted = 0  # count mass already placed in finished centroids
-        acc_mean = float(means[0])
-        acc_count = int(counts[0])
-        k_left = self._scale_k(0.0)
-        for mean, count in zip(means[1:], counts[1:]):
-            count = int(count)
-            q_right = (emitted + acc_count + count) / total
-            if self._scale_k(q_right) - k_left <= 1.0:
-                acc_mean = (acc_mean * acc_count + float(mean) * count) / (
-                    acc_count + count
-                )
-                acc_count += count
-            else:
-                new_means.append(acc_mean)
-                new_counts.append(acc_count)
-                emitted += acc_count
-                k_left = self._scale_k(emitted / total)
-                acc_mean = float(mean)
-                acc_count = count
-        new_means.append(acc_mean)
-        new_counts.append(acc_count)
+        start = 0
+        while start < n:
+            emitted_q = (float(cum[start - 1]) / total) if start else 0.0
+            k_left = self._scale_k(emitted_q)
+            end = int(np.searchsorted(ks, k_left + 1.0, side="right"))
+            end = max(end, start + 1)  # a centroid takes at least one item
+            seg_count = int(cum[end - 1]) - (int(cum[start - 1]) if start else 0)
+            seg_sum = float(weighted[end - 1]) - (
+                float(weighted[start - 1]) if start else 0.0
+            )
+            new_means.append(seg_sum / seg_count)
+            new_counts.append(seg_count)
+            start = end
         return (
             np.asarray(new_means),
             np.asarray(new_counts, dtype=np.int64),

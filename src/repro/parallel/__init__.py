@@ -9,6 +9,9 @@ sketch it studies is mergeable by design; this package exploits that:
 * :class:`ParallelIngestor` — serial / thread / process ingestion
   drivers, the process backend shipping shards through the
   :mod:`repro.core.serialization` codecs;
+* :class:`BufferedIngestor` — Quancurrent-style thread-local staging
+  buffers flushed into a shared sketch under one short critical
+  section per ``buffer_size`` values;
 * :mod:`repro.parallel.partition` — deterministic round-robin and
   value-hash partitioners.
 
@@ -16,6 +19,7 @@ See DESIGN.md ("Parallel ingestion subsystem") for the shard/merge
 model and backend trade-offs.
 """
 
+from repro.parallel.buffered import BufferedIngestor
 from repro.parallel.ingestor import BACKENDS, ParallelIngestor
 from repro.parallel.partition import (
     PARTITIONERS,
@@ -26,6 +30,7 @@ from repro.parallel.partition import (
 from repro.parallel.sharded import ShardedSketch
 
 __all__ = [
+    "BufferedIngestor",
     "ShardedSketch",
     "ParallelIngestor",
     "BACKENDS",

@@ -22,6 +22,22 @@ ingest-then-query sequence deterministic for the test harness.
 gate; the overload benchmark and tests use them to force the queue-full
 regime deterministically.
 
+Drain coalescing
+----------------
+Each drain pass takes one queued op (blocking) and then opportunistically
+pops up to ``ingest_coalesce - 1`` more without blocking.  Consecutive
+ops addressed to the same ``(metric, tags, timestamp, clock)`` key are
+concatenated and applied with *one* ``registry.record`` call — the
+server-side incarnation of the buffered-ingestion pattern in
+:class:`repro.parallel.buffered.BufferedIngestor`: values buffer cheaply
+(here: the ingest queue itself) and the expensive critical section (the
+registry's store locks and the sketch update) is paid once per batch
+instead of once per request.  Coalescing happens strictly *after* the
+WAL append, so journal-before-ack and WAL-order-equals-apply-order are
+unaffected; per-key apply order is preserved because only adjacent
+same-key ops merge.  A coalesced apply that fails is retried op by op,
+so a poisoned op cannot take down its neighbours.
+
 Durability
 ----------
 With a :class:`~repro.durability.DurabilityManager` attached, every
@@ -49,6 +65,7 @@ import threading
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.errors import (
+    DurabilityError,
     EmptySketchError,
     InvalidQuantileError,
     InvalidValueError,
@@ -139,6 +156,10 @@ class QuantileServer:
         shedding under overload.
     ingest_workers:
         Threads draining the ingest queue into the registry.
+    ingest_coalesce:
+        Max queued ops one drain pass merges into a single registry
+        apply (see the module docstring's drain-coalescing section);
+        ``1`` disables coalescing.
     clock:
         Time source for a default-constructed registry.
     telemetry:
@@ -163,6 +184,7 @@ class QuantileServer:
         port: int = 0,
         ingest_queue_size: int = 4096,
         ingest_workers: int = 1,
+        ingest_coalesce: int = 64,
         clock: Clock | None = None,
         telemetry: Telemetry | None = None,
         durability: "DurabilityManager | None" = None,
@@ -175,6 +197,10 @@ class QuantileServer:
         if ingest_workers < 1:
             raise InvalidValueError(
                 f"ingest_workers must be >= 1, got {ingest_workers!r}"
+            )
+        if ingest_coalesce < 1:
+            raise InvalidValueError(
+                f"ingest_coalesce must be >= 1, got {ingest_coalesce!r}"
             )
         clock = clock if clock is not None else SystemClock()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -194,6 +220,7 @@ class QuantileServer:
             maxsize=ingest_queue_size
         )
         self._ingest_workers = ingest_workers
+        self._ingest_coalesce = ingest_coalesce
         # Serialises journal-then-enqueue against checkpoints; see the
         # module docstring's durability section for the invariants.
         self._ingest_lock = threading.Lock()
@@ -259,14 +286,15 @@ class QuantileServer:
             # registry reflects every journaled record: checkpoint it
             # to make the next start a replay-free recovery.  A failed
             # final checkpoint is survivable (the WAL still covers
-            # everything) and must not block shutdown.
+            # everything) and must not block shutdown — including on a
+            # poisoned WAL, whose rotate raises WALError, not OSError.
             try:
                 if (
                     self.durability.wal.last_seq
                     > self.durability.last_checkpoint_seq
                 ):
                     self.durability.checkpoint_now(self.registry)
-            except OSError:
+            except (OSError, DurabilityError):
                 self.telemetry.counter(
                     "server.checkpoint_failures"
                 ).inc()
@@ -308,27 +336,92 @@ class QuantileServer:
     def _drain(self) -> None:
         while True:
             item = self._queue.get()
-            try:
-                if item is None:
-                    return
-                self._drain_gate.wait()
-                name, tags, values, timestamp_ms, now_ms = item
-                try:
-                    with self.telemetry.span("server.drain_batch"):
-                        accepted = self.registry.record(
-                            name, values, timestamp_ms, tags,
-                            now_ms=now_ms,
-                        )
-                    self.stats.incr("ingested_values", accepted)
-                except ReproError:
-                    # A poisoned batch must not kill the drain thread;
-                    # the failure is visible in the error counter.
-                    self.stats.incr("error_responses")
-            finally:
+            if item is None:
                 self._queue.task_done()
+                return
+            self._drain_gate.wait()
+            batch = [item]
+            got_sentinel = False
+            while len(batch) < self._ingest_coalesce:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:
+                    got_sentinel = True
+                    break
+                batch.append(extra)
+            try:
+                self._apply_ops(batch)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+                if got_sentinel:
+                    self._queue.task_done()
                 self.telemetry.gauge("server.ingest_queue_depth").set(
                     self._queue.qsize()
                 )
+            if got_sentinel:
+                return
+
+    def _apply_ops(
+        self,
+        batch: list[
+            tuple[str, dict[str, str] | None, list[float], float | None, float | None]
+        ],
+    ) -> None:
+        """Apply drained ops, merging adjacent same-key runs.
+
+        Only *consecutive* ops with identical ``(metric, tags,
+        timestamp, clock)`` coalesce, which preserves per-key apply
+        order.  Atomic batch rejection (validation precedes mutation in
+        every ``update_batch``) makes the op-by-op retry on failure
+        safe: a failed merged apply left nothing behind.
+        """
+        start = 0
+        total = len(batch)
+        while start < total:
+            name, tags, values, timestamp_ms, now_ms = batch[start]
+            end = start + 1
+            merged = values
+            while end < total:
+                other = batch[end]
+                if (
+                    other[0] != name
+                    or other[1] != tags
+                    or other[3] != timestamp_ms
+                    or other[4] != now_ms
+                ):
+                    break
+                if merged is values:
+                    merged = list(values)
+                merged.extend(other[2])
+                end += 1
+            if end - start > 1:
+                self.telemetry.counter("server.drain_coalesced_ops").inc(
+                    end - start - 1
+                )
+            try:
+                with self.telemetry.span("server.drain_batch"):
+                    accepted = self.registry.record(
+                        name, merged, timestamp_ms, tags, now_ms=now_ms
+                    )
+                self.stats.incr("ingested_values", accepted)
+            except ReproError:
+                # A poisoned op must not kill the drain thread or take
+                # down coalesced neighbours: retry one op at a time.
+                if end - start == 1:
+                    self.stats.incr("error_responses")
+                else:
+                    for op in batch[start:end]:
+                        try:
+                            accepted = self.registry.record(
+                                op[0], op[2], op[3], op[1], now_ms=op[4]
+                            )
+                            self.stats.incr("ingested_values", accepted)
+                        except ReproError:
+                            self.stats.incr("error_responses")
+            start = end
 
     # ------------------------------------------------------------------
     # Request dispatch

@@ -11,5 +11,9 @@ class BadSketch(QuantileSketch):  # expect: SK001,SK003
     def update(self, value):  # expect: SK002
         self._items.append(value)
 
+    def update_batch(self, values):
+        for value in values:  # expect: SK004
+            self.update(value)
+
     def quantile(self, q):
         return 0.0

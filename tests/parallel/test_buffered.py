@@ -1,0 +1,304 @@
+"""Concurrency stress tests for buffered ingestion.
+
+Three layers, matching the ISSUE checklist:
+
+* :class:`~repro.parallel.buffered.BufferedIngestor` against an exact
+  recording oracle — N threads x M batches must land **exactly** the
+  ingested multiset in the target: no lost values, no duplicates, and
+  an exact ``count()`` when the target is a real sketch;
+* crash-injected flushes (reusing the durability layer's
+  :class:`~repro.durability.faults.CrashInjector` as the
+  ``flush_hook``) — a flush that dies leaves the staged buffer intact,
+  so the retry applies every value exactly once;
+* the multi-worker TCP server — concurrent clients against
+  ``ingest_workers > 1`` drain the coalescing queue to an exact total,
+  and with durability attached a journal crash is **never acked**: the
+  client sees the error, and a restarted server recovers exactly the
+  acked prefix.
+"""
+
+import collections
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DDSketch, KLLSketch
+from repro.durability import DurabilityManager, FlushPolicy
+from repro.durability.faults import CrashInjector, InjectedIOError
+from repro.errors import InvalidValueError, ServiceError
+from repro.obs.telemetry import Telemetry
+from repro.parallel import BufferedIngestor
+from repro.service import (
+    ManualClock,
+    MetricRegistry,
+    QuantileClient,
+    QuantileServer,
+)
+
+
+class RecordingSink:
+    """Exact oracle target: keeps every applied value.
+
+    Deliberately unsynchronised — ``BufferedIngestor``'s target lock is
+    the only thing allowed to serialise ``update_batch`` calls, and the
+    multiset comparison below would expose a race as lost updates.
+    """
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+        self.batches = 0
+
+    def update_batch(self, values) -> None:
+        self.batches += 1
+        self.values.extend(np.asarray(values, dtype=np.float64).tolist())
+
+
+class TestBufferedIngestorBasics:
+    def test_buffer_size_validated(self):
+        with pytest.raises(ValueError):
+            BufferedIngestor(RecordingSink(), buffer_size=0)
+
+    def test_flushes_in_buffer_sized_batches(self):
+        sink = RecordingSink()
+        ingestor = BufferedIngestor(sink, buffer_size=4)
+        for value in range(10):
+            ingestor.ingest(float(value))
+        # Two full buffers applied, two values still staged.
+        assert sink.batches == 2
+        assert len(sink.values) == 8
+        assert ingestor.pending() == 2
+        ingestor.flush()
+        assert ingestor.pending() == 0
+        assert sink.values == [float(v) for v in range(10)]
+        assert ingestor.target is sink
+
+    def test_poisoned_batch_rejected_before_buffering(self):
+        sink = RecordingSink()
+        ingestor = BufferedIngestor(sink, buffer_size=8)
+        ingestor.ingest_batch([1.0, 2.0])
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(InvalidValueError):
+                ingestor.ingest_batch([3.0, bad, 4.0])
+        # Nothing from the poisoned batches was staged or applied.
+        assert ingestor.pending() == 2
+        ingestor.flush()
+        assert sink.values == [1.0, 2.0]
+
+    def test_telemetry_counters(self):
+        telemetry = Telemetry()
+        ingestor = BufferedIngestor(
+            RecordingSink(), buffer_size=5, telemetry=telemetry
+        )
+        # A flush applies the whole staged buffer in one batch.
+        ingestor.ingest_batch(np.arange(12, dtype=np.float64))
+        snap = telemetry.snapshot()
+        assert snap["counters"]["ingest.buffer.flushes"] == 1
+        assert snap["counters"]["ingest.buffer.flushed_values"] == 12
+        assert snap["gauges"]["ingest.buffer.occupancy"] == 0.0
+        ingestor.ingest_batch(np.arange(3, dtype=np.float64))
+        assert (
+            telemetry.snapshot()["gauges"]["ingest.buffer.occupancy"] == 3.0
+        )
+        ingestor.flush()
+        snap = telemetry.snapshot()
+        assert snap["counters"]["ingest.buffer.flushes"] == 2
+        assert snap["counters"]["ingest.buffer.flushed_values"] == 15
+        assert snap["gauges"]["ingest.buffer.occupancy"] == 0.0
+
+
+class TestBufferedIngestorConcurrency:
+    N_THREADS = 8
+    N_BATCHES = 40
+    BATCH = 25
+
+    def _stream(self, tid: int) -> np.ndarray:
+        """Values globally unique to (thread, batch, index): a lost or
+        duplicated value changes the multiset and fails the test."""
+        base = tid * self.N_BATCHES * self.BATCH
+        return np.arange(
+            base, base + self.N_BATCHES * self.BATCH, dtype=np.float64
+        )
+
+    def _hammer(self, ingestor, on_error=None):
+        def writer(tid: int) -> None:
+            stream = self._stream(tid)
+            for start in range(0, stream.size, self.BATCH):
+                batch = stream[start : start + self.BATCH]
+                try:
+                    ingestor.ingest_batch(batch)
+                except InjectedIOError:
+                    # The values are already staged; the next flush
+                    # (or the final barrier) carries them.
+                    if on_error is not None:
+                        on_error()
+
+        threads = [
+            threading.Thread(target=writer, args=(tid,))
+            for tid in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ingestor.flush()
+
+    def test_exact_multiset_no_lost_no_duplicated(self):
+        sink = RecordingSink()
+        ingestor = BufferedIngestor(sink, buffer_size=64)
+        self._hammer(ingestor)
+        total = self.N_THREADS * self.N_BATCHES * self.BATCH
+        assert ingestor.pending() == 0
+        assert len(sink.values) == total
+        expected = collections.Counter(
+            float(v) for tid in range(self.N_THREADS)
+            for v in self._stream(tid).tolist()
+        )
+        assert collections.Counter(sink.values) == expected
+
+    def test_exact_count_into_real_sketch(self):
+        sketch = KLLSketch()
+        ingestor = BufferedIngestor(sketch, buffer_size=128)
+        self._hammer(ingestor)
+        total = self.N_THREADS * self.N_BATCHES * self.BATCH
+        assert sketch.count == total
+        assert sketch.min == 0.0
+        assert sketch.max == float(total - 1)
+
+    def test_crashed_flush_keeps_buffer_and_retry_applies_once(self):
+        sink = RecordingSink()
+        injector = CrashInjector("ingest.flush")
+        ingestor = BufferedIngestor(
+            sink,
+            buffer_size=4,
+            flush_hook=lambda staged: injector("ingest.flush"),
+        )
+        with pytest.raises(InjectedIOError):
+            ingestor.ingest_batch([1.0, 2.0, 3.0, 4.0])
+        # The crash happened before the sketch mutated: everything is
+        # still staged, nothing was applied.
+        assert sink.values == []
+        assert ingestor.pending() == 4
+        # The injector is spent, so the retry applies exactly once.
+        ingestor.flush()
+        assert sink.values == [1.0, 2.0, 3.0, 4.0]
+        assert ingestor.pending() == 0
+
+    def test_concurrent_crashes_lose_nothing(self):
+        sink = RecordingSink()
+        injector = CrashInjector("ingest.flush", countdown=5)
+        errors = []
+        ingestor = BufferedIngestor(
+            sink,
+            buffer_size=32,
+            flush_hook=lambda staged: injector("ingest.flush"),
+        )
+        self._hammer(ingestor, on_error=lambda: errors.append(1))
+        assert injector.fired
+        assert len(errors) == 1
+        total = self.N_THREADS * self.N_BATCHES * self.BATCH
+        assert len(sink.values) == total
+        expected = collections.Counter(
+            float(v) for tid in range(self.N_THREADS)
+            for v in self._stream(tid).tolist()
+        )
+        assert collections.Counter(sink.values) == expected
+
+
+def make_registry(clock):
+    return MetricRegistry(
+        sketch_factory=lambda: DDSketch(alpha=0.01),
+        clock=clock,
+        partition_ms=1_000.0,
+        fine_partitions=100_000,
+    )
+
+
+class TestMultiWorkerServerIngest:
+    def test_concurrent_clients_exact_total(self):
+        n_clients, n_batches, batch = 6, 20, 50
+        with QuantileServer(
+            make_registry(ManualClock(0.0)),
+            ingest_workers=4,
+            ingest_coalesce=16,
+        ) as server:
+            host, port = server.address
+            failures = []
+
+            def client_thread(cid: int) -> None:
+                try:
+                    rng = np.random.default_rng(cid)
+                    with QuantileClient(
+                        host, port, timeout=10.0, retries=0
+                    ) as cli:
+                        for _ in range(n_batches):
+                            values = rng.uniform(1.0, 100.0, batch)
+                            accepted = cli.ingest(
+                                "lat", values, timestamp_ms=0.0
+                            )
+                            assert accepted == batch
+                except Exception as exc:  # noqa: BLE001 - reraised below
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=client_thread, args=(cid,))
+                for cid in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures, failures
+
+            with QuantileClient(host, port, timeout=10.0, retries=0) as cli:
+                cli.flush()
+                assert cli.count("lat") == n_clients * n_batches * batch
+                assert 1.0 <= cli.quantile("lat", 0.5) <= 100.0
+
+
+class TestCrashedJournalNeverAcked:
+    def test_unjournaled_values_not_acked_and_not_recovered(self, tmp_path):
+        clock = ManualClock(0.0)
+        manager = DurabilityManager(
+            tmp_path,
+            clock=clock,
+            flush_policy=FlushPolicy(mode="always"),
+            checkpoint_interval_ms=0.0,
+            fault=CrashInjector("wal.append", countdown=4),
+        )
+        acked = 0
+        rejected = 0
+        with QuantileServer(make_registry(clock), durability=manager) as srv:
+            host, port = srv.address
+            with QuantileClient(host, port, timeout=5.0, retries=0) as cli:
+                rng = np.random.default_rng(7)
+                for _ in range(8):
+                    values = rng.uniform(1.0, 100.0, 10)
+                    try:
+                        acked += cli.ingest("lat", values, timestamp_ms=0.0)
+                    except ServiceError:
+                        # The 4th append dies and the WAL poisons
+                        # itself (fail-stop): stop writing, like a
+                        # client whose retries are exhausted.
+                        rejected += 1
+                        break
+                cli.flush()
+                assert rejected == 1
+                # Exactly the journaled prefix was acked, and the
+                # server never counts what it never acked.
+                assert cli.count("lat") == acked == 30
+
+        # Restart from the WAL: recovery reproduces the acked prefix
+        # exactly — the crashed batch left no trace in the journal.
+        fresh = DurabilityManager(
+            tmp_path,
+            clock=ManualClock(0.0),
+            flush_policy=FlushPolicy(mode="always"),
+            checkpoint_interval_ms=0.0,
+        )
+        with QuantileServer(
+            make_registry(ManualClock(0.0)), durability=fresh
+        ) as srv:
+            host, port = srv.address
+            with QuantileClient(host, port, timeout=5.0, retries=0) as cli:
+                assert cli.count("lat") == acked
