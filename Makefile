@@ -3,7 +3,7 @@ PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
 .PHONY: help test-fast test-all lint analysis typecheck bench-parallel \
 	serve bench-service obs-bench durability-bench crash-test \
-	bench-ingest
+	bench-ingest race-check
 
 help:
 	@echo "Targets:"
@@ -19,6 +19,7 @@ help:
 	@echo "  obs-bench      observability overhead benchmark (<5% disabled gate)"
 	@echo "  durability-bench WAL/checkpoint cost benchmark (<5% durability-off gate)"
 	@echo "  crash-test     crash-consistency sweep + SIGKILL process smoke"
+	@echo "  race-check     concurrency gate: LCK/RACE static rules + runtime sanitizer tests"
 
 # Tier-1 gate: everything except tests marked `slow` (pyproject's
 # addopts already applies -m 'not slow').
@@ -82,3 +83,15 @@ durability-bench:
 # SIGKILL-a-real-process smoke test.
 crash-test:
 	$(PYTEST) -q tests/durability -m "slow or not slow"
+
+# The concurrency gate (DESIGN §13): the LCK/RACE static family over
+# the whole tree, then the runtime sanitizer suite — its own unit
+# tests, the live corpus witnesses, the <10% overhead budget, and the
+# sanitizer-wrapped buffered/service/durability concurrency tests.
+race-check:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --check \
+		--select LCK,RACE src/repro
+	$(PYTEST) -q tests/sanitizer -m "slow or not slow"
+	$(PYTEST) -q tests/parallel/test_buffered.py \
+		tests/service/test_concurrency.py \
+		tests/durability/test_crash_sweep.py

@@ -27,6 +27,7 @@ from repro.analysis.walker import (
     Rule,
     active_findings,
     run_rules,
+    unused_suppression_findings,
 )
 
 __all__ = [
@@ -41,20 +42,44 @@ __all__ = [
     "analyze_source",
     "run_rules",
     "select_rules",
+    "unused_suppression_findings",
 ]
+
+
+def _run(
+    project: Project,
+    rules: Sequence[Rule] | None,
+    unused_noqa: bool,
+) -> list[Finding]:
+    picked = tuple(rules or ALL_RULES)
+    findings = run_rules(project, picked)
+    if unused_noqa:
+        findings = sorted(
+            findings
+            + unused_suppression_findings(
+                project, findings, picked, RULES_BY_CODE
+            ),
+            key=lambda f: (f.path, f.line, f.col, f.code),
+        )
+    return findings
 
 
 def analyze_paths(
     paths: Iterable[Path | str],
     rules: Sequence[Rule] | None = None,
+    unused_noqa: bool = False,
 ) -> list[Finding]:
-    """Run *rules* (default: all) over on-disk files/directories."""
+    """Run *rules* (default: all) over on-disk files/directories.
+
+    With ``unused_noqa=True`` the dead-suppression audit (NOQA001)
+    runs as a post-pass and its findings join the result.
+    """
     from repro.analysis.cli import collect_paths
 
     project = Project.from_paths(
         collect_paths([str(path) for path in paths])
     )
-    return run_rules(project, tuple(rules or ALL_RULES))
+    return _run(project, rules, unused_noqa)
 
 
 def analyze_source(
@@ -63,6 +88,7 @@ def analyze_source(
     path: str = "<memory>",
     rules: Sequence[Rule] | None = None,
     extra_modules: Sequence[ModuleInfo] = (),
+    unused_noqa: bool = False,
 ) -> list[Finding]:
     """Analyse an in-memory snippet as if it were module *module*.
 
@@ -72,4 +98,4 @@ def analyze_source(
     """
     info = ModuleInfo(source=source, path=path, module=module)
     project = Project([info, *extra_modules])
-    return run_rules(project, tuple(rules or ALL_RULES))
+    return _run(project, rules, unused_noqa)

@@ -1,0 +1,550 @@
+"""Heuristic per-project call graph for the concurrency rules.
+
+The lockset dataflow in :mod:`repro.analysis.lockset` needs to answer
+two questions the lexical walker cannot: *which function does this
+call land in* (so locks held at a call site propagate into the
+callee), and *which functions run on worker threads* (so the race rule
+knows which code is concurrent at all).  This module builds both from
+the parsed :class:`~repro.analysis.walker.Project`, using deliberately
+conservative name-resolution heuristics:
+
+* ``self.method(...)`` resolves to the enclosing class's method;
+* a bare ``name(...)`` resolves to a nested function defined in the
+  same enclosing function, else a module-level function of the same
+  module;
+* ``obj.method(...)`` resolves only when the receiver's class is
+  *known* — inferred from ``__init__`` assignments (``self.x =
+  SomeClass(...)``, ``self.x = param`` with an annotated parameter),
+  parameter annotations (including string annotations) or a local
+  ``x = SomeClass(...)`` construction.  Receivers of unknown type are
+  skipped rather than guessed — resolving ``view.merge(...)`` by
+  method name alone would attribute a *plain* sketch's merge to
+  :class:`ShardedSketch` and invent lock edges that cannot happen —
+  so the dataflow under-approximates instead.
+
+Thread entry points are collected from the spawn idioms the codebase
+actually uses: ``threading.Thread(target=...)``, ``pool.submit(fn,
+...)`` / ``pool.map(fn, ...)`` on executor-like receivers, and
+lambdas passed in any of those positions (the lambda body's calls
+become entries).  A spawn site inside a loop, or via ``submit``/
+``map``, is flagged *multi* — two instances of that entry can run
+concurrently with each other, not just with other entries.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from typing import Iterator
+
+from repro.analysis.walker import ModuleInfo, Project, dotted_name
+
+#: Packages whose modules participate in the concurrency summary.
+#: Core sketches are deliberately excluded: they are documented as
+#: single-writer and analysing them would only add noise edges.
+CONCURRENCY_SCOPES: tuple[str, ...] = (
+    "repro.parallel",
+    "repro.service",
+    "repro.durability",
+    "repro.obs",
+)
+
+#: Methods that run before an object can be shared between threads.
+CONSTRUCTION_METHODS = frozenset(
+    {"__init__", "__new__", "__setstate__"}
+)
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function/method definition known to the call graph."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: ast.ClassDef | None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class CallSite:
+    """A resolved call from *caller* to *callee* at *node*."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+
+
+@dataclasses.dataclass(frozen=True)
+class EntryPoint:
+    """A function handed to a thread/executor spawn idiom.
+
+    ``multi`` records whether more than one instance of this entry can
+    run at once (spawned in a loop, or via an executor), which is what
+    lets the race rule pair an entry against itself.
+    """
+
+    qualname: str
+    spawn_module: str
+    spawn_line: int
+    reason: str
+    multi: bool
+
+
+class CallGraph:
+    """Name-resolved call edges over one project's concurrency scopes."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        #: method name -> qualnames of every in-scope class method
+        self._methods_by_name: dict[str, list[str]] = {}
+        #: bare class name -> class qualnames across in-scope modules
+        self._classes_by_name: dict[str, list[str]] = {}
+        #: "module.Class.attr" -> class qualname of the attribute
+        self._attr_types: dict[str, str] = {}
+        #: id(function node) -> local/param name -> class qualname
+        self._local_types: dict[int, dict[str, str]] = {}
+        self.calls: dict[str, list[CallSite]] = {}
+        self.callers: dict[str, list[CallSite]] = {}
+        self.entry_points: list[EntryPoint] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        project: Project,
+        scopes: tuple[str, ...] = CONCURRENCY_SCOPES,
+    ) -> "CallGraph":
+        graph = cls()
+        in_scope = [
+            module
+            for module in project.modules
+            if module.in_scope(scopes)
+        ]
+        for module in in_scope:
+            graph._collect_functions(module)
+        for module in in_scope:
+            graph._infer_attr_types(module)
+        for module in in_scope:
+            graph._resolve_calls(module)
+            graph._collect_entry_points(module)
+        graph.entry_points.sort(
+            key=lambda e: (e.spawn_module, e.spawn_line, e.qualname)
+        )
+        return graph
+
+    def _collect_functions(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            qualname = self._qualname_for(module, node)
+            info = FunctionInfo(
+                qualname=qualname,
+                module=module,
+                node=node,
+                cls=module.enclosing_class(node),
+            )
+            self.functions[qualname] = info
+            if info.is_method:
+                self._methods_by_name.setdefault(
+                    node.name, []
+                ).append(qualname)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                self._classes_by_name.setdefault(
+                    node.name, []
+                ).append(f"{module.module}.{node.name}")
+
+    @staticmethod
+    def _qualname_for(
+        module: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> str:
+        parts = [node.name]
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                parts.append(ancestor.name)
+            elif isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                parts.append(f"{ancestor.name}.<locals>")
+        parts.append(module.module)
+        return ".".join(reversed(parts))
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_calls(self, module: ModuleInfo) -> None:
+        for call in ast.walk(module.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            caller = self._enclosing_qualname(module, call)
+            if caller is None:
+                continue
+            callee = self.resolve_callee(module, call, caller)
+            if callee is None:
+                continue
+            site = CallSite(caller=caller, callee=callee, node=call)
+            self.calls.setdefault(caller, []).append(site)
+            self.callers.setdefault(callee, []).append(site)
+
+    def _enclosing_qualname(
+        self, module: ModuleInfo, node: ast.AST
+    ) -> str | None:
+        func = module.enclosing_function(node)
+        if func is None:
+            return None
+        return self._qualname_for(module, func)
+
+    def resolve_callee(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        caller: str | None = None,
+    ) -> str | None:
+        """Best-effort resolution of ``call.func`` to a known qualname."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_bare_name(module, func.id, caller)
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                return self._resolve_self_method(
+                    module, call, func.attr
+                )
+            recv_type = self._infer_type(module, call, receiver)
+            if recv_type is not None:
+                candidate = f"{recv_type}.{func.attr}"
+                if candidate in self.functions:
+                    return candidate
+        return None
+
+    def _resolve_bare_name(
+        self,
+        module: ModuleInfo,
+        name: str,
+        caller: str | None,
+    ) -> str | None:
+        # Nested function defined inside the calling function wins.
+        if caller is not None:
+            nested = f"{caller}.<locals>.{name}"
+            if nested in self.functions:
+                return nested
+        module_level = f"{module.module}.{name}"
+        if module_level in self.functions:
+            return module_level
+        return None
+
+    def _resolve_self_method(
+        self, module: ModuleInfo, call: ast.Call, attr: str
+    ) -> str | None:
+        cls = module.enclosing_class(call)
+        if cls is None:
+            return None
+        own = f"{module.module}.{cls.name}.{attr}"
+        if own in self.functions:
+            return own
+        return None
+
+    def _resolve_unique_method(self, attr: str) -> str | None:
+        """Entry-target fallback: the one in-scope method named *attr*.
+
+        Used only for spawn targets (``pool.submit(obj.work, ...)``)
+        where the method *reference* is explicit; ordinary call sites
+        require an inferred receiver type instead, because a
+        name-only match would conflate sibling classes that share an
+        interface (``update_batch``, ``merge``).
+        """
+        candidates = self._methods_by_name.get(attr, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # Receiver-type inference
+    # ------------------------------------------------------------------
+
+    def _unique_class(self, name: str) -> str | None:
+        candidates = self._classes_by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _class_from_annotation(
+        self, annotation: ast.AST | None
+    ) -> str | None:
+        """The single in-scope class a parameter annotation names.
+
+        Handles plain names, unions and string annotations
+        (``"DurabilityManager | None"``); when the annotation mentions
+        more than one in-scope class, it is treated as unknown.
+        """
+        if annotation is None:
+            return None
+        names: list[str] = []
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            names = re.findall(
+                r"[A-Za-z_][A-Za-z0-9_]*", annotation.value
+            )
+        else:
+            names = [
+                node.id
+                for node in ast.walk(annotation)
+                if isinstance(node, ast.Name)
+            ] + [
+                node.attr
+                for node in ast.walk(annotation)
+                if isinstance(node, ast.Attribute)
+            ]
+        matches = sorted(
+            {
+                qualname
+                for name in names
+                for qualname in [self._unique_class(name)]
+                if qualname is not None
+            }
+        )
+        return matches[0] if len(matches) == 1 else None
+
+    def _construction_class(self, value: ast.AST) -> str | None:
+        """``SomeClass(...)`` -> the in-scope class being constructed."""
+        if isinstance(value, ast.Call) and isinstance(
+            value.func, ast.Name
+        ):
+            return self._unique_class(value.func.id)
+        return None
+
+    def _infer_attr_types(self, module: ModuleInfo) -> None:
+        """Record ``self.attr`` types from each class's ``__init__``."""
+        for fn in list(self.functions.values()):
+            if fn.module is not module or fn.name != "__init__":
+                continue
+            if fn.cls is None:
+                continue
+            params = self._param_annotations(fn.node)
+            prefix = f"{module.module}.{fn.cls.name}"
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    inferred = self._construction_class(node.value)
+                    if inferred is None and isinstance(
+                        node.value, ast.Name
+                    ):
+                        inferred = params.get(node.value.id)
+                    if inferred is not None:
+                        self._attr_types[
+                            f"{prefix}.{target.attr}"
+                        ] = inferred
+
+    def _param_annotations(
+        self, fn_node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, str]:
+        params: dict[str, str] = {}
+        all_args = [
+            *fn_node.args.posonlyargs,
+            *fn_node.args.args,
+            *fn_node.args.kwonlyargs,
+        ]
+        for arg in all_args:
+            inferred = self._class_from_annotation(arg.annotation)
+            if inferred is not None:
+                params[arg.arg] = inferred
+        return params
+
+    def _function_local_types(
+        self, fn: FunctionInfo
+    ) -> dict[str, str]:
+        cached = self._local_types.get(id(fn.node))
+        if cached is not None:
+            return cached
+        types = self._param_annotations(fn.node)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    inferred = self._construction_class(node.value)
+                    if inferred is not None:
+                        types[target.id] = inferred
+        self._local_types[id(fn.node)] = types
+        return types
+
+    def _infer_type(
+        self, module: ModuleInfo, context: ast.AST, receiver: ast.AST
+    ) -> str | None:
+        """Class qualname of *receiver*, or ``None`` when unknown."""
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+        ):
+            cls = module.enclosing_class(context)
+            if cls is None:
+                return None
+            return self._attr_types.get(
+                f"{module.module}.{cls.name}.{receiver.attr}"
+            )
+        if isinstance(receiver, ast.Name):
+            func = module.enclosing_function(context)
+            if func is None:
+                return None
+            qualname = self._qualname_for(module, func)
+            fn = self.functions.get(qualname)
+            if fn is None:
+                return None
+            return self._function_local_types(fn).get(receiver.id)
+        return None
+
+    # ------------------------------------------------------------------
+    # Thread entry points
+    # ------------------------------------------------------------------
+
+    def _collect_entry_points(self, module: ModuleInfo) -> None:
+        for call in ast.walk(module.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            target, reason, multi_kind = self._spawned_target(call)
+            if target is None:
+                continue
+            multi = multi_kind or self._under_loop(module, call)
+            caller = self._enclosing_qualname(module, call)
+            for qualname in self._entry_qualnames(
+                module, call, target, caller
+            ):
+                self.entry_points.append(
+                    EntryPoint(
+                        qualname=qualname,
+                        spawn_module=module.module,
+                        spawn_line=call.lineno,
+                        reason=reason,
+                        multi=multi,
+                    )
+                )
+
+    @staticmethod
+    def _spawned_target(
+        call: ast.Call,
+    ) -> tuple[ast.AST | None, str, bool]:
+        """Return (target expression, idiom label, inherently-multi)."""
+        name = dotted_name(call.func)
+        if name is not None and (
+            name == "Thread" or name.endswith(".Thread")
+        ):
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    return keyword.value, "threading.Thread", False
+            return None, "", False
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr == "submit" and call.args:
+                return call.args[0], "executor.submit", True
+            if attr == "map" and call.args:
+                receiver = dotted_name(call.func.value) or ""
+                lowered = receiver.lower()
+                if "pool" in lowered or "executor" in lowered:
+                    return call.args[0], "executor.map", True
+        return None, "", False
+
+    def _entry_qualnames(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        target: ast.AST,
+        caller: str | None,
+    ) -> Iterator[str]:
+        """Resolve a spawn target expression to entry qualnames.
+
+        A lambda target has no qualname of its own; its body's resolved
+        calls become the entries instead (the lambda body runs on the
+        worker thread, so anything it calls is thread-entered).
+        """
+        if isinstance(target, ast.Lambda):
+            for node in ast.walk(target.body):
+                if isinstance(node, ast.Call):
+                    resolved = self.resolve_callee(
+                        module, node, caller
+                    )
+                    if resolved is not None:
+                        yield resolved
+            return
+        if isinstance(target, ast.Name):
+            resolved = self._resolve_bare_name(
+                module, target.id, caller
+            )
+            if resolved is not None:
+                yield resolved
+            return
+        if isinstance(target, ast.Attribute):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                cls = module.enclosing_class(call)
+                if cls is not None:
+                    own = f"{module.module}.{cls.name}.{target.attr}"
+                    if own in self.functions:
+                        yield own
+                        return
+            resolved = self._resolve_unique_method(target.attr)
+            if resolved is not None:
+                yield resolved
+
+    @staticmethod
+    def _under_loop(module: ModuleInfo, call: ast.Call) -> bool:
+        """Whether the spawn site sits inside a loop or comprehension."""
+        for ancestor in module.ancestors(call):
+            if isinstance(
+                ancestor,
+                (
+                    ast.For,
+                    ast.AsyncFor,
+                    ast.While,
+                    ast.ListComp,
+                    ast.SetComp,
+                    ast.GeneratorExp,
+                ),
+            ):
+                return True
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return False
+        return False
+
+    # ------------------------------------------------------------------
+    # Traversal helpers
+    # ------------------------------------------------------------------
+
+    def reachable_from(self, roots: Iterator[str] | list[str]) -> set[str]:
+        """Transitive closure of call edges starting at *roots*."""
+        seen: set[str] = set()
+        stack = [root for root in roots if root in self.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for site in self.calls.get(current, []):
+                if site.callee not in seen:
+                    stack.append(site.callee)
+        return seen

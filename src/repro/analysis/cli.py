@@ -19,12 +19,13 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.analysis.rules import ALL_RULES, select_rules
+from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, select_rules
 from repro.analysis.walker import (
     Finding,
     Project,
     active_findings,
     run_rules,
+    unused_suppression_findings,
 )
 from repro.errors import AnalysisError
 
@@ -86,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print findings silenced by `# repro: noqa[...]`",
     )
     parser.add_argument(
+        "--no-unused-noqa", action="store_false", dest="unused_noqa",
+        help=(
+            "skip the dead-suppression audit (NOQA001: noqa comments "
+            "whose rule never fires on that line)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
@@ -129,6 +137,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         paths = collect_paths(args.targets)
         project = Project.from_paths(paths)
         findings = run_rules(project, rules)
+        if args.unused_noqa:
+            findings = sorted(
+                findings
+                + unused_suppression_findings(
+                    project, findings, rules, RULES_BY_CODE
+                ),
+                key=lambda f: (f.path, f.line, f.col, f.code),
+            )
     except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,117 @@
+"""Interprocedural concurrency rules: LCK002, LCK003, RACE001.
+
+These rules share one :func:`repro.analysis.lockset.summarize` pass
+(cached on the project), then each filters the summary's reports down
+to the module being checked so findings stay anchored to real source
+lines and participate in the normal noqa machinery.
+
+Scope notes
+-----------
+* LCK002/RACE001 cover every concurrency package.  The summary itself
+  always analyses all of ``repro.parallel``/``service``/``durability``
+  /``obs`` so cross-package lock orders (ingest lock → WAL lock) link
+  up even when only one package is being emitted.
+* LCK003 deliberately excludes ``repro.durability``: the WAL's
+  documented contract (DESIGN §9) is that segment writes and fsyncs
+  are serialised *under* the log lock — flagging every one of them
+  would train readers to ignore the rule.  The ingest-path rule still
+  fires when a *service* caller blocks while holding its own lock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis import lockset
+from repro.analysis.walker import Finding, ModuleInfo, Project, Rule
+
+
+def _cycle_path(cycle: tuple[str, ...]) -> str:
+    return " -> ".join(cycle)
+
+
+class LockOrderCycleRule(Rule):
+    """LCK002: the static lock-order graph must stay acyclic."""
+
+    code = "LCK002"
+    name = "lock-order-acyclic"
+    description = (
+        "Lock acquisitions must follow a global order; a cycle in the "
+        "static lock-order graph is a potential deadlock."
+    )
+    scopes = lockset.CONCURRENCY_SCOPES
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        summary = lockset.summarize(project)
+        for report in summary.cycles:
+            if report.edge.path != module.path:
+                continue
+            yield self.finding(
+                module,
+                report.edge.node,
+                f"acquiring {report.edge.dst} while holding "
+                f"{report.edge.src} closes the lock-order cycle "
+                f"{_cycle_path(report.cycle)}; two threads taking "
+                "these locks in opposite orders deadlock",
+            )
+
+
+class BlockingUnderLockRule(Rule):
+    """LCK003: no indefinite blocking while holding a lock."""
+
+    code = "LCK003"
+    name = "no-blocking-under-lock"
+    description = (
+        "Socket/file I/O, untimed queue.get()/join() and time.sleep() "
+        "must not run while a lock is held: every other thread "
+        "needing that lock stalls behind the blocked holder."
+    )
+    scopes = ("repro.parallel", "repro.service", "repro.obs")
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        summary = lockset.summarize(project)
+        for report in summary.blocking:
+            if report.path != module.path:
+                continue
+            locks = ", ".join(report.locks)
+            yield self.finding(
+                module,
+                report.node,
+                f"blocking {report.description} while holding "
+                f"{locks} (in {report.function}); a stalled call "
+                "wedges every thread contending for the lock",
+            )
+
+
+class SharedStateRaceRule(Rule):
+    """RACE001: thread-reachable shared attributes need a common lock."""
+
+    code = "RACE001"
+    name = "disjoint-lockset-race"
+    description = (
+        "A self.<attr> written on one thread entry path and accessed "
+        "on another with no lock in common is a data race: the "
+        "schedules that interleave them lose or tear updates."
+    )
+    scopes = lockset.CONCURRENCY_SCOPES
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        summary = lockset.summarize(project)
+        for report in summary.races:
+            if report.path != module.path:
+                continue
+            yield self.finding(
+                module,
+                report.node,
+                f"write to {report.class_name}.{report.attr} is "
+                f"reachable from thread entry {report.entry_a} and "
+                f"accessed from {report.entry_b} "
+                f"({report.other_path}:{report.other_line}) with no "
+                "common lock; concurrent schedules race on it",
+            )

@@ -1,21 +1,33 @@
-"""Lock discipline for the shard-parallel subsystem.
+"""Lock discipline for the concurrent subsystems.
 
 PR 1's concurrency model (DESIGN.md) is lock-per-shard plus a meta lock
 for bookkeeping and a cache lock for the merged view; its correctness
 argument is that *every* write to shared instance state happens under
 one of those locks.  ``LCK001`` machine-checks the lexical half of that
-argument: inside ``repro.parallel``, an assignment or augmented
-assignment to ``self.<attr>`` outside ``__init__`` must sit inside a
-``with`` statement whose context expression mentions a lock (any
-dotted name containing ``lock``, e.g. ``self._meta_lock``,
+argument across ``repro.parallel``, ``repro.service`` and
+``repro.durability``: inside a *lock-owning* class, an assignment or
+augmented assignment to ``self.<attr>`` outside ``__init__`` must sit
+inside a ``with`` statement whose context expression mentions a lock
+(any dotted name containing ``lock``, e.g. ``self._meta_lock``,
 ``self._shard_locks[shard]``).
 
-``__init__`` is exempt (no concurrent aliases exist during
-construction), as are writes to local variables and to attributes of
-other objects — adopting constructors like ``from_shards`` build a
-fresh instance through a local name precisely so this rule stays
-sharp.  A deliberately unguarded write (e.g. a monotonic flag with
-benign races) documents itself with ``# repro: noqa[LCK001]``.
+A class "owns a lock" when its body constructs or stores one —
+``threading.Lock()`` / ``RLock()`` calls or a ``self.<...lock...>``
+attribute.  Classes without locks (clients, clocks, snapshot readers)
+are single-threaded by design and exempt: demanding locks there would
+invite cargo-cult synchronisation.  Two further exemptions keep the
+rule sharp:
+
+* ``__init__`` (no concurrent aliases exist during construction),
+  plus writes to locals and to other objects' attributes — adopting
+  constructors like ``from_shards`` build through a local name for
+  exactly this reason;
+* methods named ``*_locked`` — the WAL convention for helpers that
+  *require* the caller to hold the lock; the interprocedural LCK002/
+  LCK003 dataflow covers them, the lexical rule cannot.
+
+A deliberately unguarded write (e.g. a monotonic flag with benign
+races) documents itself with ``# repro: noqa[LCK001]``.
 """
 
 from __future__ import annotations
@@ -28,6 +40,8 @@ from repro.analysis.walker import (
     ModuleInfo,
     Project,
     Rule,
+    dotted_name,
+    is_lock_name,
     iter_with_context_names,
 )
 
@@ -69,11 +83,28 @@ def _write_targets(node: ast.AST) -> list[tuple[ast.expr, str]]:
     return found
 
 
+def _owns_lock(cls: ast.ClassDef) -> bool:
+    """Whether the class body constructs or stores any lock."""
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            if name in {"Lock", "RLock"} or name.endswith(
+                (".Lock", ".RLock")
+            ):
+                return True
+        attr = _self_attr_target(node) if isinstance(
+            node, ast.Attribute
+        ) else None
+        if attr is not None and is_lock_name(attr):
+            return True
+    return False
+
+
 def _under_lock(module: ModuleInfo, node: ast.AST) -> bool:
     for ancestor in module.ancestors(node):
         if isinstance(ancestor, (ast.With, ast.AsyncWith)):
             for name in iter_with_context_names(ancestor):
-                if "lock" in name.lower():
+                if is_lock_name(name):
                     return True
         if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
             break  # don't escape the enclosing method
@@ -84,14 +115,16 @@ class LockDisciplineRule(Rule):
     code = "LCK001"
     name = "lock-discipline"
     description = (
-        "in repro.parallel, self-attribute writes outside __init__ "
-        "must happen inside a `with <lock>` block"
+        "in the concurrent packages, self-attribute writes outside "
+        "__init__ of a lock-owning class must happen inside a "
+        "`with <lock>` block"
     )
-    scopes = ("repro.parallel",)
+    scopes = ("repro.parallel", "repro.service", "repro.durability")
 
     def check(
         self, module: ModuleInfo, project: Project
     ) -> Iterator[Finding]:
+        lock_owners: dict[ast.ClassDef, bool] = {}
         for node in ast.walk(module.tree):
             writes = _write_targets(node)
             if not writes:
@@ -99,8 +132,15 @@ class LockDisciplineRule(Rule):
             fn = module.enclosing_function(node)
             if fn is None or fn.name in _EXEMPT_METHODS:
                 continue
-            if module.enclosing_class(node) is None:
+            if fn.name.endswith("_locked"):
+                continue  # caller-holds-the-lock convention
+            cls = module.enclosing_class(node)
+            if cls is None:
                 continue  # module-level helpers hold no shared state
+            if cls not in lock_owners:
+                lock_owners[cls] = _owns_lock(cls)
+            if not lock_owners[cls]:
+                continue  # lockless classes are single-threaded
             if _under_lock(module, node):
                 continue
             for target, attr in writes:

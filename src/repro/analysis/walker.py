@@ -26,15 +26,19 @@ from __future__ import annotations
 import abc
 import ast
 import dataclasses
+import io
 import re
+import tokenize
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import AnalysisError
 
 #: Matches one ``# repro: noqa`` / ``# repro: noqa[CODE,...]`` comment.
+#: The backtick lookbehind keeps doc prose quoting the syntax (like
+#: this very comment block elsewhere) from reading as a suppression.
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?",
+    r"(?<!`)#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?",
 )
 
 _RULE_CODE_RE = re.compile(r"^[A-Z]{2,4}\d{3}$")
@@ -74,12 +78,20 @@ class Suppression:
 
 
 def parse_suppressions(source: str) -> dict[int, Suppression]:
-    """Extract per-line noqa suppressions from *source*."""
+    """Extract per-line noqa suppressions from *source*.
+
+    Only genuine ``COMMENT`` tokens count: a docstring that *mentions*
+    the noqa syntax must not silently suppress findings on its line
+    (nor trip the NOQA001 dead-suppression audit).  Tokenisation can
+    fail on sources ``ast.parse`` accepts only in pathological cases;
+    the line scan remains as a fallback so analysis never dies on it.
+    """
     table: dict[int, Suppression] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
+
+    def record(lineno: int, text: str) -> None:
         match = _NOQA_RE.search(text)
         if match is None:
-            continue
+            return
         raw = match.group("codes")
         codes = (
             None
@@ -89,6 +101,16 @@ def parse_suppressions(source: str) -> dict[int, Suppression]:
             )
         )
         table[lineno] = Suppression(line=lineno, codes=codes)
+
+    try:
+        for token in tokenize.generate_tokens(
+            io.StringIO(source).readline
+        ):
+            if token.type == tokenize.COMMENT:
+                record(token.start[0], token.string)
+    except (tokenize.TokenError, IndentationError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            record(lineno, text)
     return table
 
 
@@ -271,9 +293,100 @@ def active_findings(findings: Iterable[Finding]) -> list[Finding]:
     return [f for f in findings if not f.suppressed]
 
 
+#: Code for the dead-suppression audit below.  Not a registered Rule:
+#: it judges the *other* rules' output, so it runs as a post-pass over
+#: the findings rather than as a tree walk, and it can never be
+#: silenced by the mechanism it polices.
+UNUSED_NOQA_CODE = "NOQA001"
+
+
+def unused_suppression_findings(
+    project: Project,
+    findings: Sequence[Finding],
+    rules: Sequence[Rule],
+    known_codes: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Flag ``# repro: noqa`` comments that silence nothing.
+
+    A code-scoped suppression is *used* when some rule finding with a
+    covered code landed (suppressed) on its line; it is judged only
+    for codes whose rule actually ran on that module, so a partial
+    ``--select`` run never misreports suppressions for rules it
+    skipped.  Blanket suppressions are judged only when every known
+    rule ran (otherwise an unselected rule might be what they
+    silence).  Codes that match no known rule at all are always
+    flagged — a typo like ``noqa[LCK01]`` suppresses nothing today
+    and, worse, *looks* like it documents a waiver.
+    """
+    suppressed_at: dict[tuple[str, int], set[str]] = {}
+    for finding in findings:
+        if finding.suppressed:
+            suppressed_at.setdefault(
+                (finding.path, finding.line), set()
+            ).add(finding.code)
+    known = set(known_codes) if known_codes is not None else None
+    full_run = known is not None and {
+        rule.code for rule in rules
+    } >= known
+    results: list[Finding] = []
+
+    def report(module: ModuleInfo, line: int, message: str) -> None:
+        results.append(
+            Finding(
+                code=UNUSED_NOQA_CODE,
+                message=message,
+                path=module.path,
+                line=line,
+            )
+        )
+
+    for module in project.modules:
+        ran_here = {
+            rule.code
+            for rule in rules
+            if module.in_scope(rule.scopes)
+        }
+        for line, suppression in sorted(module.suppressions.items()):
+            used = suppressed_at.get((module.path, line), set())
+            if suppression.codes is None:
+                if full_run and not used:
+                    report(
+                        module, line,
+                        "blanket '# repro: noqa' suppresses nothing "
+                        "on this line; remove it",
+                    )
+                continue
+            for code in sorted(suppression.codes):
+                if known is not None and code not in known:
+                    report(
+                        module, line,
+                        f"noqa[{code}] names no known rule; fix the "
+                        "code or remove the suppression",
+                    )
+                elif code in ran_here and code not in used:
+                    report(
+                        module, line,
+                        f"unused suppression: {code} does not fire "
+                        "on this line; remove the stale noqa",
+                    )
+    results.sort(key=lambda f: (f.path, f.line, f.message))
+    return results
+
+
 # ----------------------------------------------------------------------
 # Shared AST predicates
 # ----------------------------------------------------------------------
+
+def is_lock_name(name: str) -> bool:
+    """Whether a rendered name plausibly denotes a lock.
+
+    The naive ``"lock" in name`` reads ``clock`` as a lock — and this
+    codebase injects ``self._clock`` everywhere — so clock mentions
+    are stripped before testing (``shard_lock`` yes, ``_clock`` no,
+    ``clock_lock`` still yes).
+    """
+    return "lock" in name.lower().replace("clock", "")
+
 
 def dotted_name(node: ast.AST) -> str | None:
     """Render ``a.b.c`` attribute/name chains; None for anything else."""

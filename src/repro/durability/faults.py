@@ -38,6 +38,8 @@ Known sites
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import InvalidValueError
 
 #: Every boundary the durability layer announces, for sweep tests.
@@ -66,6 +68,12 @@ class CrashInjector:
     spent (subsequent checks pass), mirroring a crash-and-restart: the
     failure happens exactly once, then the world moves on.
 
+    The countdown is guarded by an internal lock: concurrent flush
+    paths (e.g. eight ingest threads racing through ``flush_hook``)
+    share one injector, and an unguarded ``hits += 1`` could fire the
+    fault on two threads at once — the concurrency tests assert the
+    crash happens *exactly* once.
+
     Instances are callable so they slot directly into the ``fault``
     parameter of :func:`~repro.durability.atomicio.atomic_write_bytes`.
     """
@@ -79,21 +87,26 @@ class CrashInjector:
         self.countdown = int(countdown)
         self.fired = False
         self.hits = 0
+        self._state_lock = threading.Lock()
 
     def __call__(self, site: str) -> None:
         self.check(site)
 
     def check(self, site: str) -> None:
         """Raise :class:`InjectedIOError` when the armed site comes due."""
-        if self.fired or site != self.site:
+        if site != self.site:
             return
-        self.hits += 1
-        if self.hits >= self.countdown:
+        with self._state_lock:
+            if self.fired:
+                return
+            self.hits += 1
+            if self.hits < self.countdown:
+                return
             self.fired = True
-            raise InjectedIOError(
-                f"injected fault at {site!r} "
-                f"(occurrence {self.hits})"
-            )
+            hits = self.hits
+        raise InjectedIOError(
+            f"injected fault at {site!r} (occurrence {hits})"
+        )
 
 
 class _NoFaults:

@@ -109,3 +109,21 @@ class AnalysisError(ReproError):
     """The static-analysis framework was misconfigured or hit an
     unparseable input (bad rule code, unknown selection, syntax error
     in an analysed file)."""
+
+
+class SanitizerError(ReproError):
+    """Base class for violations caught by the runtime lock sanitizer."""
+
+
+class LockOrderViolation(SanitizerError):
+    """The runtime lock-order graph acquired a cycle (potential deadlock).
+
+    Raised either immediately — when a thread blocks on a lock that
+    would close a cycle with edges already witnessed — or at harness
+    teardown when :meth:`LockMonitor.assert_acyclic` replays the full
+    acquisition-order graph.
+    """
+
+
+class RaceViolation(SanitizerError):
+    """A watched attribute was accessed by two threads with no common lock."""

@@ -259,5 +259,9 @@ class ParallelIngestor:
                     if part.size
                 ]
                 for future in futures:
-                    future.result()
+                    # A bounded wait so a wedged shard worker surfaces
+                    # as an error instead of hanging ingestion forever;
+                    # update_shard is pure CPU work on a partitioned
+                    # chunk, so a minute means something is truly stuck.
+                    future.result(timeout=60.0)
         return sharded

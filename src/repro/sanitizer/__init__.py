@@ -1,0 +1,35 @@
+"""Runtime concurrency sanitizer (the dynamic half of the analyzer).
+
+The static rules in :mod:`repro.analysis` prove properties about the
+*source*; this package checks the same properties about an actual
+*execution*:
+
+* :class:`SanitizedLock` wraps a real ``threading.Lock``/``RLock`` and
+  reports every (successful) acquire and release to a
+  :class:`LockMonitor`;
+* the monitor folds per-thread acquisition stacks into a lock-order
+  graph over live lock *instances* and asserts it acyclic at harness
+  teardown (:exc:`~repro.errors.LockOrderViolation`), catching ABBA
+  deadlocks that a lucky schedule never triggered;
+* :meth:`LockMonitor.watch` puts an Eraser-style dynamic-lockset
+  watchpoint on one attribute and raises
+  :exc:`~repro.errors.RaceViolation` when two threads touch it with no
+  lock in common;
+* :meth:`LockMonitor.wrap_fault` notes which locks were held when a
+  :class:`~repro.durability.faults.CrashInjector` fault fired, so
+  crash-sweep tests can audit what state a mid-flush crash can strand.
+
+Tests opt in through the ``lock_sanitizer`` fixture, which swaps the
+wrappers in via :func:`instrumented` — only lock constructions whose
+*calling frame* lives in a ``repro.*`` module are wrapped, so stdlib
+internals (``queue.Queue``'s condition variables, executor plumbing)
+stay untouched and unmeasured.
+"""
+
+from repro.sanitizer.monitor import (
+    LockMonitor,
+    SanitizedLock,
+    instrumented,
+)
+
+__all__ = ["LockMonitor", "SanitizedLock", "instrumented"]

@@ -226,6 +226,13 @@ class QuantileServer:
         self._ingest_lock = threading.Lock()
         self._drain_gate = threading.Event()
         self._drain_gate.set()
+        # Guards the start/stop lifecycle fields below; never held
+        # while waiting on the queue or workers' locks, so it sits
+        # outside the ingest-lock hierarchy entirely.
+        self._lifecycle_lock = threading.Lock()
+        # Drain workers poll this so shutdown never depends on a
+        # sentinel surviving a full queue (see stop()).
+        self._stopping = threading.Event()
         self._server: _TCPServer | None = None
         self._serve_thread: threading.Thread | None = None
         self._workers: list[threading.Thread] = []
@@ -241,46 +248,64 @@ class QuantileServer:
         (checkpoint + WAL replay) before the first connection is
         accepted, so every query answers over the durable state.
         """
-        if self._server is not None:
-            raise InvalidValueError("server already started")
-        if self.durability is not None:
-            self.durability.recover(self.registry)
-        server = _TCPServer((self._host, self._port), _RequestHandler)
-        server.service = self
-        self._server = server
-        self._serve_thread = threading.Thread(
-            target=server.serve_forever,
-            name="quantile-server-accept",
-            daemon=True,
-        )
-        self._serve_thread.start()
-        for index in range(self._ingest_workers):
-            worker = threading.Thread(
-                target=self._drain,
-                name=f"quantile-server-ingest-{index}",
+        with self._lifecycle_lock:
+            if self._server is not None:
+                raise InvalidValueError("server already started")
+            if self.durability is not None:
+                self.durability.recover(self.registry)
+            self._stopping.clear()
+            server = _TCPServer(
+                (self._host, self._port), _RequestHandler
+            )
+            server.service = self
+            self._server = server
+            self._serve_thread = threading.Thread(
+                target=server.serve_forever,
+                name="quantile-server-accept",
                 daemon=True,
             )
-            worker.start()
-            self._workers.append(worker)
+            self._serve_thread.start()
+            for index in range(self._ingest_workers):
+                worker = threading.Thread(
+                    target=self._drain,
+                    name=f"quantile-server-ingest-{index}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
         return self
 
     def stop(self) -> None:
-        """Stop accepting, drain shutdown sentinels, join all threads."""
-        server = self._server
-        if server is None:
-            return
-        server.shutdown()
-        server.server_close()
-        if self._serve_thread is not None:
-            self._serve_thread.join(timeout=5.0)
-        self.resume_ingest()
-        for _ in self._workers:
-            self._queue.put(None)
-        for worker in self._workers:
-            worker.join(timeout=5.0)
-        self._workers = []
-        self._server = None
-        self._serve_thread = None
+        """Stop accepting, drain shutdown sentinels, join all threads.
+
+        Shutdown must terminate even when the ingest queue is full and
+        a worker is wedged: the sentinel ``put`` uses a timeout (a full
+        queue would otherwise block forever — the exact deadlock LCK003
+        exists to catch), and workers also poll :attr:`_stopping`, so a
+        sentinel that never fit in the queue still stops them.
+        """
+        with self._lifecycle_lock:
+            server = self._server
+            if server is None:
+                return
+            server.shutdown()
+            server.server_close()
+            if self._serve_thread is not None:
+                self._serve_thread.join(timeout=5.0)
+            self._stopping.set()
+            self.resume_ingest()
+            for _ in self._workers:
+                try:
+                    self._queue.put(None, timeout=1.0)
+                except queue.Full:
+                    # Workers notice _stopping on their next get()
+                    # timeout; don't wedge shutdown behind a full queue.
+                    break
+            for worker in self._workers:
+                worker.join(timeout=5.0)
+            self._workers = []
+            self._server = None
+            self._serve_thread = None
         if self.durability is not None:
             # Workers are joined and the queue is drained, so the
             # registry reflects every journaled record: checkpoint it
@@ -326,8 +351,14 @@ class QuantileServer:
         self._drain_gate.set()
 
     def flush(self) -> None:
-        """Block until every enqueued ingest has been applied."""
-        self._queue.join()
+        """Block until every enqueued ingest has been applied.
+
+        Callers hold the ingest lock here, which is safe *because* the
+        drain workers never acquire it: they only consume the queue and
+        call ``task_done()``, so the join always makes progress while
+        the lock keeps new journal/enqueue pairs out mid-flush.
+        """
+        self._queue.join()  # repro: noqa[LCK003]
 
     def queue_depth(self) -> int:
         """Approximate number of pending ingest batches."""
@@ -335,7 +366,12 @@ class QuantileServer:
 
     def _drain(self) -> None:
         while True:
-            item = self._queue.get()
+            try:
+                item = self._queue.get(timeout=0.5)
+            except queue.Empty:
+                if self._stopping.is_set():
+                    return
+                continue
             if item is None:
                 self._queue.task_done()
                 return

@@ -186,7 +186,7 @@ class TimePartitionedStore:
                 self._clock.now_ms() if now_ms is None else float(now_ms)
             )
             ts = now if timestamp_ms is None else float(timestamp_ms)
-            self._maybe_compact(now)
+            self._maybe_compact_locked(now)
             if ts < now - self.fine_horizon_ms:
                 self._dropped_late += int(array.size)
                 return 0
@@ -217,7 +217,7 @@ class TimePartitionedStore:
         with self._lock:
             self._compact_locked(self._clock.now_ms())
 
-    def _maybe_compact(self, now: float) -> None:
+    def _maybe_compact_locked(self, now: float) -> None:
         marker = int(math.floor(now / self.partition_ms))
         if marker != self._compact_marker:
             self._compact_marker = marker

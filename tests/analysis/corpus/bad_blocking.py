@@ -1,0 +1,34 @@
+# module: repro.service.badblocking
+"""Blocking-under-lock witnesses for LCK003.
+
+Each method parks the calling thread indefinitely while holding the
+instance lock: every other thread that needs the lock then stalls
+behind a wait that may never end.  The good twin
+(``good_concurrency.py``) does the same work with timeouts or with
+the lock released first.
+"""
+
+import queue
+import threading
+import time
+
+
+class BlockingDrain:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[float]" = queue.Queue()
+        self.drained = 0.0
+
+    def drain_one(self) -> float:
+        with self._lock:
+            value = self._queue.get()  # expect: LCK003
+            self.drained += value
+            return value
+
+    def wait_for_worker(self, worker: threading.Thread) -> None:
+        with self._lock:
+            worker.join()  # expect: LCK003
+
+    def nap_under_lock(self) -> None:
+        with self._lock:
+            time.sleep(0.01)  # expect: LCK003

@@ -1,0 +1,63 @@
+# module: repro.parallel.baddead
+"""Planted ABBA deadlock witnesses for LCK002.
+
+``AbbaPair`` nests the same two locks in opposite orders lexically;
+``NestedPair`` closes its cycle through a method call, so only the
+interprocedural lockset dataflow can see it.  Both classes are real,
+runnable code: the sanitizer tests execute this module under
+instrumented locks and must observe the same cycles at runtime that
+the static rule reports here.
+
+The methods take both locks back-to-back rather than truly
+concurrently, so *running* them single-threaded never deadlocks —
+the bug is the ordering, which is exactly what a lock-order graph
+(static or runtime) catches before the unlucky schedule happens.
+"""
+
+import threading
+
+
+class AbbaPair:
+    """Transfers between two balances, locking in argument order."""
+
+    def __init__(self) -> None:
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+        self.balance_a = 100
+        self.balance_b = 100
+
+    def a_then_b(self, amount: int) -> None:
+        with self.lock_a:
+            with self.lock_b:  # expect: LCK002
+                self.balance_a -= amount
+                self.balance_b += amount
+
+    def b_then_a(self, amount: int) -> None:
+        with self.lock_b:
+            with self.lock_a:  # expect: LCK002
+                self.balance_b -= amount
+                self.balance_a += amount
+
+
+class NestedPair:
+    """The same ABBA shape, but one arm hides behind a call."""
+
+    def __init__(self) -> None:
+        self.outer_lock = threading.Lock()
+        self.inner_lock = threading.Lock()
+        self.counter = 0
+
+    def bump(self) -> None:
+        with self.outer_lock:
+            self._bump_inner()
+
+    def _bump_inner(self) -> None:
+        # Called with outer_lock held: inner follows outer here...
+        with self.inner_lock:  # expect: LCK002
+            self.counter += 1
+
+    def sweep(self) -> None:
+        # ...but outer follows inner here, closing the cycle.
+        with self.inner_lock:
+            with self.outer_lock:  # expect: LCK002
+                self.counter = 0

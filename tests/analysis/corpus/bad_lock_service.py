@@ -1,0 +1,17 @@
+# module: repro.service.badlifecycle
+"""LCK001 now covers repro.service: lifecycle writes need the lock."""
+
+import threading
+
+
+class Lifecycle:
+    def __init__(self) -> None:
+        self._lifecycle_lock = threading.Lock()
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True  # expect: LCK001
+
+    def stop(self) -> None:
+        with self._lifecycle_lock:
+            self._running = False

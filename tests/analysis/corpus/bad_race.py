@@ -1,0 +1,41 @@
+# module: repro.obs.badrace
+"""Unguarded shared-counter race witness for RACE001.
+
+``add`` is spawned as a thread target in a loop, so many instances of
+it run at once, and its ``self.total += n`` holds no lock — the
+read-modify-write tears under contention and increments are lost.
+``observe_peak`` *does* lock, but a lock only protects what every
+accessor agrees to take, and ``add`` never takes it.
+
+This module is runnable on purpose: the sanitizer tests execute it
+with ``total`` under a watchpoint and threads really racing, and the
+runtime monitor must catch live what the static rule reports here.
+"""
+
+import threading
+
+
+class SharedCounter:
+    def __init__(self) -> None:
+        self._meter_lock = threading.Lock()
+        self.total = 0
+        self.peak = 0
+
+    def add(self, n: int) -> None:
+        for _ in range(n):
+            self.total += 1  # expect: RACE001
+
+    def observe_peak(self) -> None:
+        with self._meter_lock:
+            if self.total > self.peak:
+                self.peak = self.total
+
+    def run(self, workers: int, n: int) -> None:
+        threads = [
+            threading.Thread(target=self.add, args=(n,))
+            for _ in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)

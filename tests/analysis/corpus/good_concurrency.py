@@ -1,0 +1,55 @@
+# module: repro.parallel.goodconc
+"""Known-good concurrency: every rule the bad twins trip stays silent.
+
+* locks nest strictly parent -> child everywhere (no LCK002 cycle);
+* queue waits carry timeouts and sleeps happen outside locks (LCK003);
+* the one attribute thread workers write is guarded by the same lock
+  on every path (RACE001);
+* ``_reset_locked`` follows the caller-holds-the-lock naming
+  convention LCK001 exempts.
+"""
+
+import queue
+import threading
+
+
+class OrderedPair:
+    def __init__(self) -> None:
+        self.parent_lock = threading.Lock()
+        self.child_lock = threading.Lock()
+        self._queue: "queue.Queue[float]" = queue.Queue()
+        self.applied = 0
+
+    def ingest(self, value: float) -> None:
+        with self.parent_lock:
+            with self.child_lock:
+                self.applied += 1
+        self._queue.put(value)
+
+    def drain(self) -> float:
+        value = self._queue.get(timeout=0.5)
+        with self.parent_lock:
+            with self.child_lock:
+                self.applied += 1
+        return value
+
+    def worker(self) -> None:
+        with self.parent_lock:
+            self.applied += 1
+
+    def spawn(self, n: int) -> list:
+        threads = [
+            threading.Thread(target=self.worker) for _ in range(n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        return threads
+
+    def reset(self) -> None:
+        with self.parent_lock:
+            self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        self.applied = 0

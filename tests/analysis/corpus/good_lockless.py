@@ -1,0 +1,17 @@
+# module: repro.service.goodcursor
+"""Lockless classes are single-threaded by design: LCK001 exempt.
+
+Also pins the lock-name heuristic: ``_clock_skew`` mentions "clock",
+which contains "lock", and must *not* make this class lock-owning.
+"""
+
+
+class SnapshotCursor:
+    def __init__(self) -> None:
+        self._pos = 0
+        self._clock_skew = 0.0
+
+    def advance(self, n: int) -> int:
+        self._pos += n
+        self._clock_skew = 0.5
+        return self._pos

@@ -26,6 +26,25 @@ def test_src_tree_has_zero_active_findings():
     assert findings == [], "\n".join(f.render() for f in findings)
 
 
+def test_src_tree_has_no_stale_suppressions():
+    """Every ``# repro: noqa[...]`` in the tree must still be earning
+    its keep — the NOQA001 audit runs in CI, so a fix that obsoletes a
+    suppression must also delete the comment."""
+    findings = active_findings(analyze_paths([SRC_ROOT], unused_noqa=True))
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_lck_race_family_is_clean_on_src_tree():
+    """The `make race-check` static gate: no deadlock cycles, no
+    blocking-under-lock, no lockset races anywhere in the tree."""
+    from repro.analysis.rules import select_rules
+
+    findings = active_findings(analyze_paths(
+        [SRC_ROOT], rules=select_rules(select=("LCK", "RACE"))
+    ))
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
 def test_cli_check_gate_passes_on_src_tree():
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(

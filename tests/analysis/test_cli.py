@@ -105,3 +105,81 @@ def test_collect_paths_deduplicates_and_sorts(tmp_path):
     assert paths == [a, b]
     with pytest.raises(AnalysisError):
         collect_paths([str(tmp_path / "missing.py")])
+
+
+# ----------------------------------------------------------------------
+# Family selection and the unused-noqa audit flag
+# ----------------------------------------------------------------------
+
+ABBA_SOURCE = (
+    "import threading\n"
+    "\n"
+    "class Pair:\n"
+    "    def __init__(self):\n"
+    "        self.lock_a = threading.Lock()\n"
+    "        self.lock_b = threading.Lock()\n"
+    "        self.n = 0\n"
+    "\n"
+    "    def ab(self):\n"
+    "        with self.lock_a:\n"
+    "            with self.lock_b:\n"
+    "                self.n += 1\n"
+    "\n"
+    "    def ba(self):\n"
+    "        with self.lock_b:\n"
+    "            with self.lock_a:\n"
+    "                self.n -= 1\n"
+)
+
+
+@pytest.fixture()
+def deadlock_tree(tmp_path):
+    """A fake `repro/parallel` tree with a planted ABBA cycle."""
+    pkg = tmp_path / "repro" / "parallel"
+    pkg.mkdir(parents=True)
+    (pkg / "pair.py").write_text(ABBA_SOURCE)
+    return tmp_path
+
+
+def test_prefix_select_expands_to_rule_family(deadlock_tree, capsys):
+    assert main(
+        ["--check", "--select", "LCK,RACE", str(deadlock_tree)]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "LCK002" in out
+    # The family gate runs only LCK*/RACE*: the unseeded-RNG rule is
+    # off even though the tree never imports numpy anyway.
+    assert "RNG001" not in out
+
+
+def test_prefix_ignore_drops_whole_family(deadlock_tree, capsys):
+    assert main(["--check", "--ignore", "LCK", str(deadlock_tree)]) == 0
+    capsys.readouterr()
+
+
+def test_unknown_prefix_is_a_usage_error(deadlock_tree, capsys):
+    assert main(["--select", "NOPE", str(deadlock_tree)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_unused_noqa_audit_is_on_by_default(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "ok.py").write_text(
+        "def f(x):\n    return x + 0.5  # repro: noqa[FLT001]\n"
+    )
+    assert main(["--check", str(tmp_path)]) == 1
+    assert "NOQA001" in capsys.readouterr().out
+    assert main(["--check", "--no-unused-noqa", str(tmp_path)]) == 0
+    capsys.readouterr()
+
+
+def test_json_includes_audit_findings(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "ok.py").write_text(
+        "def f(x):\n    return x + 0.5  # repro: noqa[FLT001]\n"
+    )
+    assert main(["--json", str(tmp_path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["code"] for f in payload["findings"]] == ["NOQA001"]

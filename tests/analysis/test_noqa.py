@@ -73,3 +73,81 @@ def test_noqa_on_a_different_line_has_no_effect():
     findings = _findings(source)
     assert [f.code for f in findings] == ["FLT001"]
     assert not findings[0].suppressed
+
+
+# ----------------------------------------------------------------------
+# NOQA001: the dead-suppression audit
+# ----------------------------------------------------------------------
+
+
+def _audit(source: str, module: str = MODULE, **kwargs):
+    return analyze_source(source, module=module, unused_noqa=True, **kwargs)
+
+
+def test_unused_scoped_noqa_is_flagged():
+    source = "def f(x):\n    return x + 0.5  # repro: noqa[FLT001]\n"
+    findings = _audit(source)
+    assert [f.code for f in findings] == ["NOQA001"]
+    assert findings[0].line == 2
+    assert "FLT001" in findings[0].message
+
+
+def test_used_scoped_noqa_is_not_flagged():
+    source = "def f(x):\n    return x == 0.5  # repro: noqa[FLT001]\n"
+    findings = _audit(source)
+    assert [f.code for f in findings] == ["FLT001"]
+    assert findings[0].suppressed
+
+
+def test_unused_blanket_noqa_is_flagged():
+    source = "def f(x):\n    return x + 1  # repro: noqa\n"
+    findings = _audit(source)
+    assert [f.code for f in findings] == ["NOQA001"]
+    assert "blanket" in findings[0].message
+
+
+def test_unknown_code_in_noqa_is_always_flagged():
+    source = "def f(x):\n    return x == 0.5  # repro: noqa[ZZZ999]\n"
+    findings = _audit(source)
+    assert sorted((f.code, f.suppressed) for f in findings) == [
+        ("FLT001", False),
+        ("NOQA001", False),
+    ]
+    audit = next(f for f in findings if f.code == "NOQA001")
+    assert "no known rule" in audit.message
+
+
+def test_out_of_scope_code_is_not_reported_unused():
+    """A DUR001 noqa in a module DUR001 never runs on stays silent:
+    the audit only judges codes whose rule analysed that module."""
+    source = (
+        "def dump(report, path):\n"
+        "    with open(path, 'w') as handle:  # repro: noqa[DUR001]\n"
+        "        handle.write(report)\n"
+    )
+    # repro.core is outside DUR001's scopes, so the suppression is
+    # vacuous there -- but deliberately not judged.
+    findings = analyze_source(
+        source, module="repro.core.noqa_demo", unused_noqa=True
+    )
+    assert [f.code for f in findings] == []
+
+
+def test_partial_rule_run_does_not_judge_blankets():
+    """`--select FLT` must not call a blanket noqa unused: rules that
+    might legitimately use it did not run."""
+    from repro.analysis.rules import select_rules
+
+    source = "def f(x):\n    return x + 1  # repro: noqa\n"
+    findings = analyze_source(
+        source,
+        module=MODULE,
+        rules=select_rules(select=("FLT001",)),
+        unused_noqa=True,
+    )
+    assert findings == []
+
+
+def test_audit_off_by_default_in_api():
+    source = "def f(x):\n    return x + 0.5  # repro: noqa[FLT001]\n"
+    assert analyze_source(source, module=MODULE) == []

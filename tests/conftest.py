@@ -9,6 +9,27 @@ from repro.experiments.config import SCALES
 
 
 @pytest.fixture
+def lock_sanitizer():
+    """Run the test under the runtime concurrency sanitizer.
+
+    Every ``threading.Lock``/``RLock`` a ``repro.*`` module creates
+    inside the test body is wrapped (build the system under test
+    *inside* the test, not at import time), per-thread acquisition
+    order is folded into a lock-order graph, and teardown fails the
+    test on an ordering cycle or a watched-attribute race.
+    """
+    from repro.sanitizer import LockMonitor, instrumented
+
+    monitor = LockMonitor()
+    try:
+        with instrumented(monitor):
+            yield monitor
+    finally:
+        monitor.unwatch_all()
+    monitor.verify()
+
+
+@pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG; tests needing other seeds build their own."""
     return np.random.default_rng(12345)

@@ -24,6 +24,11 @@ from repro.durability.wal import FlushPolicy
 from repro.service.clock import ManualClock
 from repro.service.registry import MetricRegistry
 
+# The whole sweep runs under the runtime lock sanitizer; the
+# record-boundary sweep additionally audits which locks were held at
+# each injected fault site via wrap_fault.
+pytestmark = pytest.mark.usefixtures("lock_sanitizer")
+
 EPOCH_MS = 1_000_000.0
 N_OPS = 15
 CHECKPOINT_AFTER = {6, 12}  # 1-based op numbers followed by a checkpoint
@@ -150,11 +155,25 @@ def test_all_known_sites_exercised():
 
 @pytest.mark.parametrize("countdown", range(1, N_OPS + 1))
 @pytest.mark.parametrize("site", RECORD_SITES)
-def test_crash_at_every_record_boundary(tmp_path, site, countdown):
-    injector = CrashInjector(site, countdown=countdown)
+def test_crash_at_every_record_boundary(
+    tmp_path, site, countdown, lock_sanitizer
+):
+    injector = lock_sanitizer.wrap_fault(
+        CrashInjector(site, countdown=countdown)
+    )
     acked, pending, crashed = run_until_crash(tmp_path, injector)
     assert crashed or not injector.fired
     assert_crash_consistent(tmp_path, acked, pending)
+    if crashed:
+        # Record-boundary faults fire inside the WAL's log lock — the
+        # designed behaviour DESIGN §13 documents.  The sanitizer's
+        # audit must have seen it, and seen *only* the WAL lock: a
+        # crash that strands any other lock would be a real bug.
+        audits = [f for f in lock_sanitizer.faults_under_lock
+                  if f.site == site]
+        assert audits, f"{site} fired with no lock audit recorded"
+        for audit in audits:
+            assert all("wal" in label for label in audit.locks), audit
 
 
 @pytest.mark.parametrize("countdown", (1, 2))

@@ -36,6 +36,11 @@ from repro.service import (
     QuantileServer,
 )
 
+# Every test here runs under the runtime lock sanitizer: acquisition
+# order across the registry -> buffer -> target hierarchy is recorded
+# and teardown fails on any ordering cycle (DESIGN §13).
+pytestmark = pytest.mark.usefixtures("lock_sanitizer")
+
 
 class RecordingSink:
     """Exact oracle target: keeps every applied value.

@@ -1,0 +1,136 @@
+"""The planted corpus bugs must be caught *live*, not just statically.
+
+Each test executes the same source the static rules flag
+(``tests/analysis/corpus``) under an instrumented monitor and drives it
+on real threads: the ABBA deadlock surfaces as a lock-order violation
+(without ever actually deadlocking — edges, not schedules, convict it),
+and the unguarded shared counter trips an Eraser watchpoint.
+
+These tests manage their own monitor instead of using the
+``lock_sanitizer`` fixture because the violations are the *expected*
+outcome here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LockOrderViolation, RaceViolation
+from repro.sanitizer import LockMonitor, instrumented
+
+CORPUS = Path(__file__).resolve().parent.parent / "analysis" / "corpus"
+
+
+def load(filename, module):
+    """Execute a corpus file as if it were the module it claims to be.
+
+    The ``# module:`` header is what makes the *static* scopes apply;
+    setting ``__name__`` the same way is what makes the *runtime*
+    factory wrap its locks.
+    """
+    path = CORPUS / filename
+    namespace = {"__name__": module}
+    exec(compile(path.read_text(), str(path), "exec"), namespace)
+    return namespace
+
+
+def test_abba_deadlock_caught_live_single_thread():
+    monitor = LockMonitor()
+    with instrumented(monitor):
+        ns = load("bad_deadlock.py", "repro.parallel.baddead")
+        pair = ns["AbbaPair"]()
+        pair.a_then_b(10)
+        # The reversed nesting would need a second unlucky thread to
+        # actually deadlock; the sanitizer convicts it immediately.
+        with pytest.raises(LockOrderViolation, match="cycle"):
+            pair.b_then_a(10)
+    assert monitor.held_uids() == (), "failed acquire must unwind cleanly"
+
+
+def test_abba_deadlock_caught_across_threads():
+    """Two threads, run one after the other: no schedule ever hangs,
+    but the shared order graph still convicts the second thread."""
+    import threading
+
+    monitor = LockMonitor()
+    caught = []
+    with instrumented(monitor):
+        ns = load("bad_deadlock.py", "repro.parallel.baddead")
+        pair = ns["AbbaPair"]()
+
+        def second_arm():
+            try:
+                pair.b_then_a(1)
+            except LockOrderViolation as exc:
+                caught.append(exc)
+
+        first = threading.Thread(target=pair.a_then_b, args=(1,))
+        first.start()
+        first.join(timeout=10.0)
+        second = threading.Thread(target=second_arm)
+        second.start()
+        second.join(timeout=10.0)
+    assert len(caught) == 1
+    assert "cycle" in str(caught[0])
+
+
+def test_interprocedural_cycle_caught_live():
+    """NestedPair hides one arm of the cycle behind a method call."""
+    monitor = LockMonitor()
+    with instrumented(monitor):
+        ns = load("bad_deadlock.py", "repro.parallel.baddead")
+        pair = ns["NestedPair"]()
+        pair.bump()  # outer -> inner, via _bump_inner
+        with pytest.raises(LockOrderViolation, match="cycle"):
+            pair.sweep()  # inner -> outer closes it
+
+
+def test_cycle_caught_at_teardown_when_never_blocking():
+    """Timed acquires can't park forever, so the live check skips them
+    — teardown's acyclicity assertion is the net underneath."""
+    monitor = LockMonitor()
+    with instrumented(monitor):
+        ns = load("bad_deadlock.py", "repro.parallel.baddead")
+        pair = ns["AbbaPair"]()
+        pair.a_then_b(1)
+        assert pair.lock_b.acquire(True, 1.0)
+        assert pair.lock_a.acquire(True, 1.0)
+        pair.lock_a.release()
+        pair.lock_b.release()
+    with pytest.raises(LockOrderViolation, match="cycle"):
+        monitor.verify()
+
+
+def test_shared_counter_race_caught_live():
+    monitor = LockMonitor()
+    try:
+        with instrumented(monitor):
+            ns = load("bad_race.py", "repro.obs.badrace")
+            counter = ns["SharedCounter"]()
+            monitor.watch(counter, "total")
+            counter.run(workers=4, n=500)
+        assert monitor.races, "unguarded increments must trip the watchpoint"
+        assert monitor.races[0].attr == "total"
+        with pytest.raises(RaceViolation, match="total"):
+            monitor.verify()
+    finally:
+        monitor.unwatch_all()
+
+
+def test_good_corpus_runs_clean():
+    """The known-good twin does the same work and must verify green."""
+    monitor = LockMonitor()
+    try:
+        with instrumented(monitor):
+            ns = load("good_concurrency.py", "repro.parallel.goodconc")
+            pair = ns["OrderedPair"]()
+            monitor.watch(pair, "applied")
+            for value in (1.0, 2.0, 3.0):
+                pair.ingest(value)
+            pair.spawn(4)
+            pair.drain()
+            pair.reset()
+        assert monitor.edges, "parent -> child nesting should be recorded"
+        monitor.verify()
+    finally:
+        monitor.unwatch_all()

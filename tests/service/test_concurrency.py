@@ -22,6 +22,11 @@ from repro.service import ManualClock, MetricRegistry, TimePartitionedStore
 
 LO, HI = 1.0, 1_000.0
 
+# Ingest-while-query runs under the runtime lock sanitizer: store,
+# registry and shard locks are wrapped and the acquisition-order graph
+# is asserted acyclic at teardown (DESIGN §13).
+pytestmark = pytest.mark.usefixtures("lock_sanitizer")
+
 
 class TestDeterministicInterleaving:
     """Fast variant: exact assertions under an injected clock."""
