@@ -3,7 +3,7 @@ PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
 .PHONY: help test-fast test-all lint analysis typecheck bench-parallel \
 	serve bench-service obs-bench durability-bench crash-test \
-	bench-ingest race-check
+	bench-ingest race-check cluster-demo cluster-test bench-cluster
 
 help:
 	@echo "Targets:"
@@ -20,6 +20,9 @@ help:
 	@echo "  durability-bench WAL/checkpoint cost benchmark (<5% durability-off gate)"
 	@echo "  crash-test     crash-consistency sweep + SIGKILL process smoke"
 	@echo "  race-check     concurrency gate: LCK/RACE static rules + runtime sanitizer tests"
+	@echo "  cluster-demo   3-node replicated cluster demo (ingest/failover/convergence)"
+	@echo "  cluster-test   cluster fault suite: partitions, crashes, convergence"
+	@echo "  bench-cluster  cluster requests/sec vs node count + failover timing"
 
 # Tier-1 gate: everything except tests marked `slow` (pyproject's
 # addopts already applies -m 'not slow').
@@ -83,6 +86,23 @@ durability-bench:
 # SIGKILL-a-real-process smoke test.
 crash-test:
 	$(PYTEST) -q tests/durability -m "slow or not slow"
+
+# The replicated cluster (DESIGN §14). `cluster-demo` runs the
+# scripted 3-node ingest/failover/convergence walkthrough; add e.g.
+# CLUSTER_ARGS="--nodes 5" to vary it. For a long-running foreground
+# cluster use `python -m repro.cluster --serve` directly.
+cluster-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.cluster --demo $(CLUSTER_ARGS)
+
+cluster-test:
+	$(PYTEST) -q tests/cluster
+
+# Requests/sec vs node count through the routing proxy, plus
+# deterministic failover timing on the manual clock. Writes
+# BENCH_cluster.json with --output; add CLUSTER_BENCH_ARGS="--smoke
+# --output DIR" for the CI-sized run.
+bench-cluster:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_cluster.py $(CLUSTER_BENCH_ARGS)
 
 # The concurrency gate (DESIGN §13): the LCK/RACE static family over
 # the whole tree, then the runtime sanitizer suite — its own unit

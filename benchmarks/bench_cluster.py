@@ -1,0 +1,269 @@
+"""Cluster throughput benchmark — the gate behind ``BENCH_cluster.json``.
+
+Not a paper figure: this measures the replicated cluster introduced
+with :mod:`repro.cluster` (hash-ring sharding, WAL streaming to
+followers, gossip anti-entropy).  Two sections:
+
+1. **Requests/sec vs node count** — an in-process
+   :class:`~repro.cluster.LocalCluster` at each node count, driven by
+   concurrent proxy clients over real loopback TCP.  The tenant
+   keyspace is spread across many metrics so the ring distributes
+   leadership; ingest and keyed-query request rates are reported per
+   node count, followed by a replication pass and the byte-level
+   convergence check.  All nodes share one process (and the GIL), so
+   the figure shows routing/replication *overhead* versus the
+   single-node baseline, not linear scale-out.
+2. **Failover timing** — on the deterministic
+   :class:`~repro.service.clock.ManualClock`: crash the leader, tick
+   until the supervisor view demotes it and a follower is promoted
+   (detection/promotion, in clock ms), then restart it and tick until
+   every replica is byte-identical again (catch-up, in clock ms).
+
+The asserted *checks* are structural (rates positive, no acked write
+lost, replicas converged); there is no speed gate — the numbers are
+recorded for trend tracking.  Run standalone::
+
+    PYTHONPATH=src:. python benchmarks/bench_cluster.py --output . [--smoke]
+
+``--smoke`` (or ``REPRO_SCALE=smoke``) shrinks the workload for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.cluster import LocalCluster
+from repro.experiments.export import write_json
+
+SEED = 20230807
+
+FULL = {
+    "node_counts": (1, 2, 3),
+    "threads": 4,
+    "ingest_requests_per_thread": 300,
+    "query_requests_per_thread": 300,
+    "batch": 64,
+    "metrics": 12,
+}
+SMOKE = {
+    "node_counts": (1, 3),
+    "threads": 2,
+    "ingest_requests_per_thread": 60,
+    "query_requests_per_thread": 60,
+    "batch": 32,
+    "metrics": 6,
+}
+
+FAILOVER_VALUES = 2_000
+FAILOVER_STEP_MS = 250.0
+FAILOVER_DEADLINE_MS = 60_000.0
+
+
+def _run_threads(n_threads: int, work) -> float:
+    threads = [
+        threading.Thread(target=work, args=(tid,))
+        for tid in range(n_threads)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# Section 1: requests/sec vs node count
+# ----------------------------------------------------------------------
+
+def _cluster_rates(n_nodes: int, scale: dict) -> dict:
+    metrics = [f"m{index:02d}" for index in range(scale["metrics"])]
+    batch = [float(value) for value in range(scale["batch"])]
+    n_ingest = scale["ingest_requests_per_thread"]
+    n_query = scale["query_requests_per_thread"]
+    errors: list[BaseException] = []
+
+    with LocalCluster(n_nodes=n_nodes, seed=SEED) as cluster:
+
+        def ingester(tid: int) -> None:
+            try:
+                with cluster.client(retries=2) as client:
+                    for request in range(n_ingest):
+                        metric = metrics[(tid + request) % len(metrics)]
+                        client.ingest(metric, batch)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        ingest_s = _run_threads(scale["threads"], ingester)
+        assert not errors, errors
+
+        def querier(tid: int) -> None:
+            try:
+                with cluster.client(retries=2) as client:
+                    for request in range(n_query):
+                        metric = metrics[(tid + request) % len(metrics)]
+                        if request % 2:
+                            client.quantile(metric, 0.5)
+                        else:
+                            client.count(metric)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        query_s = _run_threads(scale["threads"], querier)
+        assert not errors, errors
+
+        # Let replication and anti-entropy drain, then hold the
+        # benchmark to the same bar as the fault suite.
+        cluster.run_for(5_000.0, step_ms=250.0)
+        report = cluster.convergence_report()
+        assert report["converged"], report["mismatches"]
+
+        expected = scale["threads"] * n_ingest * scale["batch"]
+        with cluster.client(retries=2) as client:
+            total = sum(client.count(metric) for metric in metrics)
+        assert total == expected, (total, expected)
+
+    ingest_requests = scale["threads"] * n_ingest
+    query_requests = scale["threads"] * n_query
+    row = {
+        "nodes": n_nodes,
+        "ingest_requests": ingest_requests,
+        "ingest_requests_per_sec": ingest_requests / ingest_s,
+        "ingest_values_per_sec": expected / ingest_s,
+        "query_requests": query_requests,
+        "query_requests_per_sec": query_requests / query_s,
+        "replicated_stores": report["stores"],
+        "converged": report["converged"],
+    }
+    print(
+        f"  nodes={n_nodes}: ingest "
+        f"{row['ingest_requests_per_sec']:>8,.0f} req/s "
+        f"({row['ingest_values_per_sec']:,.0f} values/s)   "
+        f"query {row['query_requests_per_sec']:>8,.0f} req/s   "
+        f"{report['stores']} stores converged"
+    )
+    return row
+
+
+def bench_throughput(scale: dict) -> dict:
+    return {
+        str(n_nodes): _cluster_rates(n_nodes, scale)
+        for n_nodes in scale["node_counts"]
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 2: failover timing on the manual clock
+# ----------------------------------------------------------------------
+
+def _tick_until(cluster: LocalCluster, predicate) -> float:
+    """Tick until *predicate* holds; returns elapsed clock ms."""
+    start = cluster.clock.now_ms()
+    while not predicate():
+        cluster.tick(advance_ms=FAILOVER_STEP_MS)
+        elapsed = cluster.clock.now_ms() - start
+        if elapsed > FAILOVER_DEADLINE_MS:
+            raise AssertionError(
+                f"predicate not reached within {FAILOVER_DEADLINE_MS} ms"
+            )
+    return cluster.clock.now_ms() - start
+
+
+def bench_failover() -> dict:
+    values = [float(value) for value in range(FAILOVER_VALUES)]
+    with LocalCluster(n_nodes=3, seed=SEED) as cluster:
+        acked = 0
+        with cluster.client() as client:
+            acked += client.ingest("m", values)
+        cluster.run_for(2_000.0)
+        leader = cluster.leader_of("m")
+        cluster.crash(leader)
+        detection_ms = _tick_until(
+            cluster,
+            lambda: not cluster.supervisor.view.is_alive(leader)
+            and cluster.leader_of("m") != leader,
+        )
+        with cluster.client() as client:
+            acked += client.ingest("m", values)
+        cluster.restart(leader)
+        catchup_ms = _tick_until(cluster, cluster.converged)
+        with cluster.client() as client:
+            total = client.count("m")
+        assert total == acked, (total, acked)
+    result = {
+        "values_before_crash": FAILOVER_VALUES,
+        "tick_ms": FAILOVER_STEP_MS,
+        "detection_and_promotion_ms": detection_ms,
+        "restart_catchup_ms": catchup_ms,
+        "acked_records_preserved": acked,
+    }
+    print(
+        f"  detection+promotion {detection_ms:,.0f} ms clock   "
+        f"restart catch-up {catchup_ms:,.0f} ms clock   "
+        f"{acked} acked records preserved"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+def bench_cluster(output: Path | None = None, smoke: bool = False) -> dict:
+    smoke = smoke or os.environ.get("REPRO_SCALE", "").lower() == "smoke"
+    scale = SMOKE if smoke else FULL
+
+    print(
+        f"proxy throughput vs node count "
+        f"({scale['threads']} threads x "
+        f"{scale['ingest_requests_per_thread']} requests x "
+        f"{scale['batch']} values)"
+    )
+    throughput = bench_throughput(scale)
+
+    print("failover timing (manual clock)")
+    failover = bench_failover()
+
+    result = {
+        "schema": "repro.bench_cluster/1",
+        "scale": {
+            "smoke": smoke,
+            **{key: list(value) if isinstance(value, tuple) else value
+               for key, value in scale.items()},
+        },
+        "throughput": throughput,
+        "failover": failover,
+    }
+    for row in throughput.values():
+        assert row["ingest_requests_per_sec"] > 0
+        assert row["query_requests_per_sec"] > 0
+        assert row["converged"]
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+        path = write_json(result, output / "BENCH_cluster.json")
+        print(f"\nwrote {path}")
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="DIR",
+        help="directory for BENCH_cluster.json",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized workload (also via REPRO_SCALE=smoke)",
+    )
+    args = parser.parse_args(argv)
+    bench_cluster(output=args.output, smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

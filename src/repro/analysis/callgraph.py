@@ -48,6 +48,7 @@ CONCURRENCY_SCOPES: tuple[str, ...] = (
     "repro.service",
     "repro.durability",
     "repro.obs",
+    "repro.cluster",
 )
 
 #: Methods that run before an object can be shared between threads.

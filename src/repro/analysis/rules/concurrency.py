@@ -68,7 +68,7 @@ class BlockingUnderLockRule(Rule):
         "must not run while a lock is held: every other thread "
         "needing that lock stalls behind the blocked holder."
     )
-    scopes = ("repro.parallel", "repro.service", "repro.obs")
+    scopes = ("repro.parallel", "repro.service", "repro.obs", "repro.cluster")
 
     def check(
         self, module: ModuleInfo, project: Project

@@ -119,7 +119,12 @@ class LockDisciplineRule(Rule):
         "__init__ of a lock-owning class must happen inside a "
         "`with <lock>` block"
     )
-    scopes = ("repro.parallel", "repro.service", "repro.durability")
+    scopes = (
+        "repro.parallel",
+        "repro.service",
+        "repro.durability",
+        "repro.cluster",
+    )
 
     def check(
         self, module: ModuleInfo, project: Project

@@ -66,6 +66,7 @@ class DirectClockReadRule(Rule):
         "repro.parallel",
         "repro.streaming",
         "repro.durability",
+        "repro.cluster",
     )
 
     def check(

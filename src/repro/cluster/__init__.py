@@ -1,0 +1,55 @@
+"""Replicated multi-node cluster for the quantile service.
+
+This package turns N :class:`~repro.service.server.QuantileServer`
+instances into one logical sketch store:
+
+* :mod:`repro.cluster.ring` — deterministic hash ring assigning each
+  ``(metric, tags)`` tenant key a primary and replica set;
+* :mod:`repro.cluster.node` — :class:`ClusterNode`, a server subclass
+  holding one :class:`~repro.service.registry.MetricRegistry` *per
+  origin node* so replicated histories stay linear and replicas
+  converge to bit-identical state;
+* :mod:`repro.cluster.replication` — fine-tier plane: followers tail
+  each origin's segmented WAL over the wire with acked-prefix
+  watermarks;
+* :mod:`repro.cluster.antientropy` — coarse/sealed-tier plane:
+  gossip-style digest exchange adopting only the symmetric difference
+  of diverged ``(tenant, partition)`` entries;
+* :mod:`repro.cluster.supervisor` — heartbeat failure detection on an
+  injectable clock, epoch-numbered membership views, replication-lag
+  gauges;
+* :mod:`repro.cluster.proxy` — routing front end: ingest to the
+  per-key leader, reads to the leader or a fresh-enough follower;
+* :mod:`repro.cluster.netfault` / :mod:`repro.cluster.transport` —
+  the seeded network-fault seam (drop/delay/duplicate/partition) every
+  inter-node call flows through;
+* :mod:`repro.cluster.local` — :class:`LocalCluster`, the in-process
+  N-node assembly the tests, benchmark and CLI demo drive.
+
+See DESIGN.md §14 for the architecture and invariants.
+"""
+
+from repro.cluster.antientropy import AntiEntropyRunner
+from repro.cluster.local import LocalCluster
+from repro.cluster.membership import MembershipView, NodeStatus
+from repro.cluster.netfault import NetworkFaultInjector
+from repro.cluster.node import ClusterNode
+from repro.cluster.proxy import RoutingProxy
+from repro.cluster.replication import ReplicationRunner
+from repro.cluster.ring import HashRing
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.cluster.transport import ClusterTransport
+
+__all__ = [
+    "AntiEntropyRunner",
+    "ClusterNode",
+    "ClusterSupervisor",
+    "ClusterTransport",
+    "HashRing",
+    "LocalCluster",
+    "MembershipView",
+    "NetworkFaultInjector",
+    "NodeStatus",
+    "ReplicationRunner",
+    "RoutingProxy",
+]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.cluster``."""
+
+import sys
+
+from repro.cluster.cli import main
+
+sys.exit(main())

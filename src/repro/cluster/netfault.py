@@ -1,0 +1,174 @@
+"""Injectable network faults for cluster tests.
+
+The cluster's partition-tolerance suite needs the same discipline the
+durability layer gets from ``CrashInjector``: faults that are *decided
+deterministically* (seeded RNG, explicit rules) and injected at one
+seam every message crosses.  That seam is
+:class:`~repro.cluster.transport.ClusterTransport`, which consults an
+injector before every request:
+
+* ``drop`` — the request never reaches the peer (surfaces as
+  :class:`~repro.errors.ServiceUnavailableError`, exactly what a
+  connect timeout produces);
+* ``delay`` — the request waits ``delay_ms`` on the injected clock
+  first (a :class:`~repro.service.clock.ManualClock` advances instead
+  of blocking, so delayed tests still run sleep-free);
+* ``duplicate`` — the request is sent twice, exercising idempotency
+  (replication pulls are cursor-addressed, so a duplicate is a no-op);
+* ``partition`` — rule-based: nodes in different groups cannot talk at
+  all until :meth:`heal` (drops are symmetric and deterministic, not
+  probabilistic).
+
+Probabilistic faults draw from one seeded generator in *decision
+order*, so a single-threaded tick loop replays identically run to run.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import InvalidValueError
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the injector wants done with one request."""
+
+    action: str  # "ok" | "drop" | "delay" | "duplicate"
+    delay_ms: float = 0.0
+
+
+_OK = FaultDecision("ok")
+_DROP = FaultDecision("drop")
+
+
+def _rate(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise InvalidValueError(
+            f"{name} must be within [0, 1], got {value!r}"
+        )
+    return value
+
+
+class NetworkFaultInjector:
+    """Deterministic drop/delay/duplicate/partition fault source.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the probabilistic fault draws.
+    drop_rate / delay_rate / duplicate_rate:
+        Per-request probabilities, applied in that precedence order.
+    delay_ms:
+        Added latency when a delay fires.
+
+    Thread safety: decisions mutate the RNG, so they are serialised by
+    an internal lock; rule updates (partition/heal/link cuts) take the
+    same lock and apply atomically to subsequent decisions.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_ms: float = 0.0,
+        duplicate_rate: float = 0.0,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(seed)
+        self.drop_rate = _rate("drop_rate", drop_rate)
+        self.delay_rate = _rate("delay_rate", delay_rate)
+        self.delay_ms = float(delay_ms)
+        self.duplicate_rate = _rate("duplicate_rate", duplicate_rate)
+        self._groups: list[frozenset[str]] = []
+        self._cut_links: set[frozenset[str]] = set()
+        self._decisions = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the network: only same-group endpoints may talk.
+
+        Endpoints in no group (e.g. the supervisor, unless listed) are
+        unaffected — the control plane can stay up while the data plane
+        splits, or be partitioned too by naming it in a group.
+        """
+        parsed = [frozenset(str(member) for member in group) for group in groups]
+        seen: set[str] = set()
+        for group in parsed:
+            overlap = seen & group
+            if overlap:
+                raise InvalidValueError(
+                    f"partition groups must be disjoint; "
+                    f"{sorted(overlap)} appear twice"
+                )
+            seen |= group
+        with self._lock:
+            self._groups = parsed
+
+    def cut_link(self, a: str, b: str) -> None:
+        """Sever one bidirectional link (asymmetric faults stay out of
+        scope: a cut drops both directions, like a pulled cable)."""
+        with self._lock:
+            self._cut_links.add(frozenset((str(a), str(b))))
+
+    def heal(self) -> None:
+        """Remove every partition and link cut (rates stay in force)."""
+        with self._lock:
+            self._groups = []
+            self._cut_links.clear()
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def _partitioned_locked(self, src: str, dst: str) -> bool:
+        if frozenset((src, dst)) in self._cut_links:
+            return True
+        if not self._groups:
+            return False
+        src_group = next(
+            (group for group in self._groups if src in group), None
+        )
+        dst_group = next(
+            (group for group in self._groups if dst in group), None
+        )
+        if src_group is None or dst_group is None:
+            # An unlisted endpoint sits outside the split.
+            return False
+        return src_group is not dst_group
+
+    def decide(self, src: str, dst: str) -> FaultDecision:
+        """The fate of one request from *src* to *dst*."""
+        with self._lock:
+            self._decisions += 1
+            if self._partitioned_locked(src, dst):
+                self._dropped += 1
+                return _DROP
+            if self.drop_rate and self._rng.random() < self.drop_rate:
+                self._dropped += 1
+                return _DROP
+            if self.delay_rate and self._rng.random() < self.delay_rate:
+                return FaultDecision("delay", self.delay_ms)
+            if (
+                self.duplicate_rate
+                and self._rng.random() < self.duplicate_rate
+            ):
+                return FaultDecision("duplicate")
+            return _OK
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "decisions": self._decisions,
+                "dropped": self._dropped,
+            }

@@ -1,0 +1,95 @@
+"""Deterministic hash ring: tenant key -> ordered replica set.
+
+Every router in the cluster — node-side leadership checks, the routing
+proxy, replication filtering — must agree on who owns a key without
+talking to each other, so ownership is a pure function of the static
+node set: each node projects ``vnodes`` virtual points onto a 64-bit
+ring via BLAKE2b, a key hashes to one point, and its replica set is the
+next ``n`` *distinct* nodes clockwise.  Virtual nodes smooth the
+keyspace split (the classic consistent-hashing variance fix) and keep
+the map stable under membership changes: a crashed node's keys fail
+over to ring successors instead of reshuffling the world.
+
+Crash/restart does **not** change the ring — liveness is layered on
+top by :mod:`repro.cluster.membership`: the *leader* of a key is the
+first **alive** owner in ring order, so failover is a view change, not
+a ring change, and a recovered node resumes exactly its old keyspace.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import InvalidValueError
+
+
+def _position(label: str) -> int:
+    """64-bit ring position of *label* (stable across processes)."""
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class HashRing:
+    """Consistent-hash ring over a fixed node set.
+
+    Parameters
+    ----------
+    nodes:
+        Node identifiers; order-insensitive (the ring sorts positions).
+    vnodes:
+        Virtual points per node; more points, smoother key split.
+    """
+
+    def __init__(self, nodes: list[str] | tuple[str, ...], vnodes: int = 64) -> None:
+        node_list = list(nodes)
+        if not node_list:
+            raise InvalidValueError("a hash ring needs at least one node")
+        if len(set(node_list)) != len(node_list):
+            raise InvalidValueError(
+                f"duplicate node ids in ring: {sorted(node_list)}"
+            )
+        if vnodes < 1:
+            raise InvalidValueError(f"vnodes must be >= 1, got {vnodes!r}")
+        self.nodes: tuple[str, ...] = tuple(sorted(node_list))
+        self.vnodes = int(vnodes)
+        points: list[tuple[int, str]] = []
+        for node in self.nodes:
+            for index in range(self.vnodes):
+                points.append((_position(f"{node}#{index}"), node))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [node for _, node in points]
+
+    def owners(self, key: str, n: int | None = None) -> list[str]:
+        """The first *n* distinct nodes clockwise from *key*'s position.
+
+        ``owners(key)[0]`` is the key's primary; the rest are its
+        replica successors in failover order.  ``n=None`` (or any value
+        >= the node count) returns every node, primary first.
+        """
+        count = len(self.nodes) if n is None else int(n)
+        if count < 1:
+            raise InvalidValueError(f"need n >= 1 owners, got {n!r}")
+        count = min(count, len(self.nodes))
+        start = bisect.bisect_right(self._positions, _position(key))
+        owners: list[str] = []
+        for offset in range(len(self._owners)):
+            node = self._owners[(start + offset) % len(self._owners)]
+            if node not in owners:
+                owners.append(node)
+                if len(owners) == count:
+                    break
+        return owners
+
+    def primary(self, key: str) -> str:
+        return self.owners(key, 1)[0]
+
+    def is_owner(self, key: str, node: str, n: int | None = None) -> bool:
+        return node in self.owners(key, n)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -493,6 +493,38 @@ class WriteAheadLog:
                 if seq > after_seq:
                     yield seq, payload
 
+    def tail(
+        self, after_seq: int = 0, max_records: int | None = None
+    ) -> tuple[list[tuple[int, bytes]], int]:
+        """Read appended records live: the replication-streaming API.
+
+        Returns ``(records, upto)`` where *records* are ``(seq,
+        payload)`` pairs with ``after_seq < seq``, at most
+        *max_records* of them, and *upto* is the newest sequence the
+        read is complete through (``min(last_seq, last returned)``) —
+        the watermark a replication follower may advance its acked
+        prefix to after applying the batch.
+
+        Unlike :meth:`replay`, which targets a crashed directory, this
+        runs against the *open* log under its lock, so it is safe to
+        call concurrently with appends: every record appended before
+        the call is visible (appends flush to the OS before releasing
+        the lock), and the scan can never race a write half-way
+        through a record.
+        """
+        with self._lock:
+            self._require_handle_locked()
+            # Appends land via buffered ``ab`` writes; make the bytes
+            # visible to the path-based reader below.
+            self._handle.flush()
+            last = self._last_seq
+            records: list[tuple[int, bytes]] = []
+            for seq, payload in self.replay(after_seq=after_seq):
+                if max_records is not None and len(records) >= max_records:
+                    return records, records[-1][0]
+                records.append((seq, payload))
+            return records, last
+
     def truncate_upto(self, watermark_seq: int) -> list[Path]:
         """Delete sealed segments wholly covered by *watermark_seq*.
 

@@ -12,16 +12,22 @@ small, explicit reliability model:
   because retrying into a shedding server is how overloads become
   outages.  Callers own their backpressure policy.
 
-The backoff sleeper is injectable so tests (and the benchmark's
-overload phase) never wait on real time.
+Backoff runs on the injectable :class:`~repro.service.clock.Clock` —
+``clock.sleep_ms`` blocks on a real clock and merely advances a
+:class:`~repro.service.clock.ManualClock` — so failover tests retry
+through whole backoff schedules without sleeping.  Jitter comes from a
+seeded generator: two clients with the same seed retry at identical
+offsets, which keeps the end-to-end determinism harness honest, while
+distinct seeds de-synchronise a fleet's retry storms.
 """
 
 from __future__ import annotations
 
 import contextlib
 import socket
-import time
 from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
 
 from repro.errors import (
     ProtocolError,
@@ -31,6 +37,7 @@ from repro.errors import (
 )
 from repro.obs.telemetry import NOOP, Telemetry
 from repro.service import protocol
+from repro.service.clock import Clock, SystemClock
 
 
 class QuantileClient:
@@ -46,9 +53,21 @@ class QuantileClient:
         Transport-failure retry budget per request (total attempts are
         ``retries + 1``).
     backoff_ms:
-        Base backoff; attempt *i* sleeps ``backoff_ms * 2**i``.
+        Base backoff; attempt *i* waits ``backoff_ms * 2**i`` plus
+        jitter.
+    jitter:
+        Fractional jitter on each backoff: the wait is scaled by a
+        seeded draw from ``[1, 1 + jitter]``.  ``0`` disables it.
+    jitter_seed:
+        Seed for the jitter generator; retry schedules are a pure
+        function of ``(backoff_ms, jitter, jitter_seed)``.
+    clock:
+        Time source the backoff waits on.  A
+        :class:`~repro.service.clock.ManualClock` advances itself
+        instead of blocking, so failover tests retry sleep-free.
     sleep:
-        Injectable sleeper (seconds), defaulting to :func:`time.sleep`.
+        Legacy injectable sleeper (seconds).  When provided it
+        overrides the clock's ``sleep_ms``; prefer *clock*.
     telemetry:
         Observability sink (:mod:`repro.obs`); the retry loop reports
         ``client.transport_retries`` and ``client.backoff_total_ms``
@@ -62,13 +81,19 @@ class QuantileClient:
         timeout: float = 10.0,
         retries: int = 3,
         backoff_ms: float = 50.0,
-        sleep: Callable[[float], None] = time.sleep,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
+        clock: Clock | None = None,
+        sleep: Callable[[float], None] | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         self._address = (host, int(port))
         self._timeout = float(timeout)
         self._retries = int(retries)
         self._backoff_ms = float(backoff_ms)
+        self._jitter = float(jitter)
+        self._rng = np.random.default_rng(jitter_seed)
+        self._clock = clock if clock is not None else SystemClock()
         self._sleep = sleep
         self.telemetry = telemetry if telemetry is not None else NOOP
         self._sock: socket.socket | None = None
@@ -130,22 +155,34 @@ class QuantileClient:
     # Request/response core
     # ------------------------------------------------------------------
 
-    def call(self, request: dict[str, Any]) -> dict[str, Any]:
+    def call(
+        self, request: dict[str, Any], check: bool = True
+    ) -> dict[str, Any]:
         """Send one request, return the parsed *successful* response.
 
         Transport failures retry with backoff; error responses raise
         (:class:`~repro.errors.ServerOverloadedError` for shedding,
-        :class:`~repro.errors.ServiceError` otherwise).
+        :class:`~repro.errors.ServiceError` otherwise).  Pass
+        ``check=False`` to get error responses back as data instead —
+        routers that dispatch on error codes (the cluster proxy's
+        ``not_leader`` redirect) need the object, not an exception.
         """
         last_error: Exception | None = None
         for attempt in range(self._retries + 1):
             if attempt:
                 backoff_ms = self._backoff_ms * (2 ** (attempt - 1))
+                if self._jitter:
+                    backoff_ms *= 1.0 + self._jitter * float(
+                        self._rng.random()
+                    )
                 self.telemetry.counter("client.transport_retries").inc()
                 self.telemetry.counter("client.backoff_total_ms").inc(
                     int(backoff_ms)
                 )
-                self._sleep(backoff_ms / 1000.0)
+                if self._sleep is not None:
+                    self._sleep(backoff_ms / 1000.0)
+                else:
+                    self._clock.sleep_ms(backoff_ms)
             try:
                 self.connect()
                 protocol.write_frame(self._wfile, request)
@@ -160,7 +197,7 @@ class QuantileClient:
                 )
                 self.close()
                 continue
-            return self._check(response)
+            return self._check(response) if check else response
         raise ServiceUnavailableError(
             f"request failed after {self._retries + 1} attempts: "
             f"{last_error}"
@@ -181,6 +218,23 @@ class QuantileClient:
 
     def ping(self) -> bool:
         return bool(self.call({"op": "ping"})["pong"])
+
+    def node_info(self) -> dict[str, Any]:
+        """Identity + frontier of the answering node.
+
+        Returns ``{node_id, role, wal_watermark, frontier}``; cluster
+        health checks and anti-entropy both read this one op.
+        """
+        response = self.call({"op": "node_info"})
+        return {
+            "node_id": str(response["node_id"]),
+            "role": str(response["role"]),
+            "wal_watermark": int(response["wal_watermark"]),
+            "frontier": {
+                str(origin): int(seq)
+                for origin, seq in dict(response["frontier"]).items()
+            },
+        }
 
     def ingest(
         self,

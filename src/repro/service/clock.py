@@ -25,6 +25,20 @@ class Clock(abc.ABC):
     def now_ms(self) -> float:
         """Current time in milliseconds."""
 
+    def sleep_ms(self, delta_ms: float) -> None:
+        """Let *delta_ms* of this clock's time pass.
+
+        Real clocks block the calling thread; :class:`ManualClock`
+        advances itself instead, which is what makes retry/backoff
+        loops (the service client's, the cluster supervisor's)
+        sleep-free under test.
+        """
+        if delta_ms < 0:
+            raise InvalidValueError(
+                f"cannot sleep a negative duration, got {delta_ms!r}"
+            )
+        time.sleep(delta_ms / 1000.0)
+
 
 class SystemClock(Clock):
     """Wall clock, for production serving."""
@@ -61,6 +75,10 @@ class ManualClock(Clock):
 
     def now_ms(self) -> float:
         return self._now_ms
+
+    def sleep_ms(self, delta_ms: float) -> None:
+        """Advance instead of blocking: manual time "passes" instantly."""
+        self.advance(delta_ms)
 
     def advance(self, delta_ms: float) -> float:
         """Move time forward by *delta_ms* and return the new time."""

@@ -59,7 +59,9 @@ layering acyclic.
 
 from __future__ import annotations
 
+import contextlib
 import queue
+import socket
 import socketserver
 import threading
 from typing import TYPE_CHECKING, Any, Callable, Mapping
@@ -109,8 +111,40 @@ class ServerStats:
 class _TCPServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
     allow_reuse_address = True
-    #: Backlink injected by :class:`QuantileServer`.
-    service: "QuantileServer"
+    #: Backlink injected by :class:`TCPFrontEnd`: any object with a
+    #: ``dispatch(request) -> response`` method.
+    service: "Dispatcher"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        # Live connection sockets, so a stop can sever in-flight
+        # conversations too — shutdown() only stops the accept loop,
+        # and a "crashed" cluster node must not keep answering peers
+        # over their pooled connections.
+        self._conn_lock = threading.Lock()
+        self._conns: set[Any] = set()
+
+    def get_request(self) -> tuple[Any, Any]:
+        request, client_address = super().get_request()
+        with self._conn_lock:
+            self._conns.add(request)
+        return request, client_address
+
+    def shutdown_request(self, request: Any) -> None:  # type: ignore[override]
+        with self._conn_lock:
+            self._conns.discard(request)
+        super().shutdown_request(request)
+
+    def close_connections(self) -> None:
+        with self._conn_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            # Best-effort severing: the peer may have hung up first.
+            with contextlib.suppress(OSError):
+                conn.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                conn.close()
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):
@@ -139,6 +173,76 @@ class _RequestHandler(socketserver.StreamRequestHandler):
         except (OSError, ProtocolError):
             return False  # peer went away; nothing left to say
         return True
+
+
+class Dispatcher:
+    """Protocol for objects a :class:`TCPFrontEnd` can serve."""
+
+    def dispatch(
+        self, request: dict[str, Any]
+    ) -> dict[str, Any]:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+
+class TCPFrontEnd:
+    """The bind/accept/serve half of a protocol endpoint.
+
+    Owns a threaded TCP server plus its accept-loop thread and maps
+    every request frame through *dispatcher*'s ``dispatch`` method.
+    :class:`QuantileServer` serves its registry through one of these;
+    the cluster routing proxy (:mod:`repro.cluster.proxy`) serves its
+    forwarding table through another — same wire behaviour, different
+    brains.
+    """
+
+    def __init__(
+        self,
+        dispatcher: "Dispatcher",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._dispatcher = dispatcher
+        self._host = host
+        self._port = port
+        self._server: _TCPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    def start(self, thread_name: str = "tcp-front-accept") -> None:
+        if self._server is not None:
+            raise InvalidValueError("front end already started")
+        server = _TCPServer((self._host, self._port), _RequestHandler)
+        server.service = self._dispatcher
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name=thread_name,
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        server = self._server
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        server.close_connections()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Actual (host, port) after binding."""
+        if self._server is None:
+            raise InvalidValueError("front end not started")
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
 
 
 class QuantileServer:
@@ -175,6 +279,11 @@ class QuantileServer:
         its data directory, every accepted ingest is journaled before
         the ack, cadence checkpoints run on the manager's clock, and
         :meth:`stop` writes a final checkpoint.
+    node_id:
+        Stable identity reported by the ``node_info`` op; defaults to
+        ``host:port`` of the bound address.  Cluster nodes set this to
+        their ring identity so health checks and frontier exchange
+        (which share the ``node_info`` code path) agree on names.
     """
 
     def __init__(
@@ -188,6 +297,7 @@ class QuantileServer:
         clock: Clock | None = None,
         telemetry: Telemetry | None = None,
         durability: "DurabilityManager | None" = None,
+        node_id: str | None = None,
     ) -> None:
         if ingest_queue_size < 1:
             raise InvalidValueError(
@@ -213,6 +323,8 @@ class QuantileServer:
         self.durability = durability
         self._host = host
         self._port = port
+        self._node_id = node_id
+        self._front = TCPFrontEnd(self, host, port)
         # Queue items pin both the resolved event timestamp and (when
         # durability journaled the batch) the clock reading to apply it
         # under, so replay reproduces the drain path exactly.
@@ -233,8 +345,6 @@ class QuantileServer:
         # Drain workers poll this so shutdown never depends on a
         # sentinel surviving a full queue (see stop()).
         self._stopping = threading.Event()
-        self._server: _TCPServer | None = None
-        self._serve_thread: threading.Thread | None = None
         self._workers: list[threading.Thread] = []
 
     # ------------------------------------------------------------------
@@ -249,31 +359,37 @@ class QuantileServer:
         accepted, so every query answers over the durable state.
         """
         with self._lifecycle_lock:
-            if self._server is not None:
+            if self._front.running:
                 raise InvalidValueError("server already started")
-            if self.durability is not None:
-                self.durability.recover(self.registry)
+            self._recover()
             self._stopping.clear()
-            server = _TCPServer(
-                (self._host, self._port), _RequestHandler
-            )
-            server.service = self
-            self._server = server
-            self._serve_thread = threading.Thread(
-                target=server.serve_forever,
-                name="quantile-server-accept",
+            self._front.start(thread_name="quantile-server-accept")
+            self._spawn_workers_locked()
+        return self
+
+    def _recover(self) -> None:
+        """Lifecycle hook: rebuild serving state before accepting.
+
+        The base server recovers through its durability manager;
+        cluster nodes override this to replay their origin WAL.
+        """
+        if self.durability is not None:
+            self.durability.recover(self.registry)
+
+    def _spawn_workers_locked(self) -> None:
+        """Lifecycle hook: start the ingest drain workers.
+
+        Cluster nodes apply ingests synchronously under replication
+        locks and override this to spawn nothing.
+        """
+        for index in range(self._ingest_workers):
+            worker = threading.Thread(
+                target=self._drain,
+                name=f"quantile-server-ingest-{index}",
                 daemon=True,
             )
-            self._serve_thread.start()
-            for index in range(self._ingest_workers):
-                worker = threading.Thread(
-                    target=self._drain,
-                    name=f"quantile-server-ingest-{index}",
-                    daemon=True,
-                )
-                worker.start()
-                self._workers.append(worker)
-        return self
+            worker.start()
+            self._workers.append(worker)
 
     def stop(self) -> None:
         """Stop accepting, drain shutdown sentinels, join all threads.
@@ -285,13 +401,9 @@ class QuantileServer:
         sentinel that never fit in the queue still stops them.
         """
         with self._lifecycle_lock:
-            server = self._server
-            if server is None:
+            if not self._front.running:
                 return
-            server.shutdown()
-            server.server_close()
-            if self._serve_thread is not None:
-                self._serve_thread.join(timeout=5.0)
+            self._front.stop()
             self._stopping.set()
             self.resume_ingest()
             for _ in self._workers:
@@ -304,8 +416,6 @@ class QuantileServer:
             for worker in self._workers:
                 worker.join(timeout=5.0)
             self._workers = []
-            self._server = None
-            self._serve_thread = None
         if self.durability is not None:
             # Workers are joined and the queue is drained, so the
             # registry reflects every journaled record: checkpoint it
@@ -334,10 +444,19 @@ class QuantileServer:
     @property
     def address(self) -> tuple[str, int]:
         """Actual (host, port) after binding."""
-        if self._server is None:
+        if not self._front.running:
             raise InvalidValueError("server not started")
-        host, port = self._server.server_address[:2]
-        return str(host), int(port)
+        return self._front.address
+
+    @property
+    def node_id(self) -> str:
+        """Identity reported by ``node_info`` (default: bound address)."""
+        if self._node_id is not None:
+            return self._node_id
+        if self._front.running:
+            host, port = self._front.address
+            return f"{host}:{port}"
+        return f"{self._host}:{self._port}"
 
     # ------------------------------------------------------------------
     # Ingest pipeline
@@ -499,6 +618,42 @@ class QuantileServer:
 
     def _op_ping(self, request: dict[str, Any]) -> dict[str, Any]:
         return protocol.ok(pong=True)
+
+    # -- node identity / frontier hooks (overridden by cluster nodes) --
+
+    def role(self) -> str:
+        """This endpoint's replication role (``standalone`` here)."""
+        return "standalone"
+
+    def wal_watermark(self) -> int:
+        """Newest durable WAL sequence (0 without durability)."""
+        if self.durability is None:
+            return 0
+        return int(self.durability.wal.last_seq)
+
+    def partition_frontier(self) -> dict[str, int]:
+        """Per-origin applied watermarks (empty for a standalone node).
+
+        Cluster nodes override this with their replication frontier —
+        the same mapping anti-entropy rounds exchange, so health checks
+        and reconciliation read one code path.
+        """
+        return {}
+
+    def _op_node_info(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Health check and frontier exchange in one op.
+
+        ``ping`` answers liveness; ``node_info`` adds who is answering
+        (node id, role), how durable it is (WAL watermark) and what it
+        has applied (partition frontier), so failure detection and
+        anti-entropy share a single code path.
+        """
+        return protocol.ok(
+            node_id=self.node_id,
+            role=self.role(),
+            wal_watermark=self.wal_watermark(),
+            frontier=self.partition_frontier(),
+        )
 
     def _op_ingest(self, request: dict[str, Any]) -> dict[str, Any]:
         name = _require_metric(request)
@@ -672,6 +827,7 @@ class QuantileServer:
 
     _OPS: dict[str, Callable[["QuantileServer", dict[str, Any]], dict[str, Any]]] = {
         "ping": _op_ping,
+        "node_info": _op_node_info,
         "ingest": _op_ingest,
         "flush": _op_flush,
         "checkpoint": _op_checkpoint,

@@ -30,11 +30,12 @@ state of :class:`~repro.parallel.ShardedSketch` partitions.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import struct
 import threading
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -126,6 +127,7 @@ class TimePartitionedStore:
         # sharded, views merge their (internally locked) merged views,
         # so one plain inner sketch is the right container.
         probe = sketch_factory()
+        self._fine_sharded = isinstance(probe, ShardedSketch)
         if isinstance(probe, ShardedSketch):
             self._view_factory: Callable[[], QuantileSketch] = (
                 probe._factory
@@ -138,6 +140,7 @@ class TimePartitionedStore:
         self._version = 0
         self._cached_key: tuple[int, float, float] | None = None
         self._cached_view: QuantileSketch | None = None
+        self._digest_cache: tuple[int, dict[str, str]] | None = None
         self._events_recorded = 0
         self._dropped_late = 0
         self._events_expired = 0
@@ -427,6 +430,147 @@ class TimePartitionedStore:
             f"coarse={len(self._coarse)} "
             f"recorded={self._events_recorded}>"
         )
+
+    # ------------------------------------------------------------------
+    # Partition-level reconciliation (cluster anti-entropy)
+    # ------------------------------------------------------------------
+    #
+    # Anti-entropy (DESIGN §14) reconciles two replicas of the same
+    # store by exchanging a digest per partition and shipping only the
+    # partitions whose digests differ — the symmetric difference —
+    # instead of the whole snapshot or, worse, the raw stream.
+    # Partitions are addressed as "f:<bucket_id>" / "c:<coarse_id>"
+    # strings so the map survives the JSON wire protocol unchanged.
+
+    @staticmethod
+    def _partition_key(tier: str, bucket_id: int) -> str:
+        return f"{tier}:{bucket_id}"
+
+    @staticmethod
+    def _parse_partition_key(key: str) -> tuple[str, int]:
+        tier, _, raw = key.partition(":")
+        if tier not in ("f", "c") or not raw:
+            raise InvalidValueError(
+                f"malformed partition key {key!r}; expected "
+                "'f:<id>' or 'c:<id>'"
+            )
+        return tier, int(raw)
+
+    def partition_digests(self) -> dict[str, str]:
+        """Content digest of every retained partition.
+
+        Digests hash the partition's serialized bytes, so — by the
+        bit-identical-snapshot guarantee of the codec — two replicas
+        that applied the same record subsequence report identical
+        digests.  Cached per store version: an unchanged store never
+        re-serialises.
+        """
+        with self._lock:
+            if (
+                self._digest_cache is not None
+                and self._digest_cache[0] == self._version
+            ):
+                return dict(self._digest_cache[1])
+            digests: dict[str, str] = {}
+            for tier_name, tier in (
+                ("f", self._fine), ("c", self._coarse)
+            ):
+                for bucket_id, sketch in tier.items():
+                    digests[self._partition_key(tier_name, bucket_id)] = (
+                        hashlib.blake2b(
+                            _freeze(sketch), digest_size=16
+                        ).hexdigest()
+                    )
+            self._digest_cache = (self._version, dict(digests))
+            return digests
+
+    def sync_counters(self) -> dict[str, int | None]:
+        """Counter state shipped alongside adopted partitions.
+
+        Counters (and the compaction marker) are not derivable from
+        partition contents — expired events left no partition behind —
+        so reconciliation transfers them explicitly to keep adopted
+        replicas byte-identical under :meth:`snapshot`.
+        """
+        with self._lock:
+            return {
+                "events_recorded": self._events_recorded,
+                "dropped_late": self._dropped_late,
+                "events_expired": self._events_expired,
+                "compact_marker": self._compact_marker,
+            }
+
+    def export_partitions(self, keys: Iterable[str]) -> dict[str, bytes]:
+        """Serialized blobs for the requested partition keys.
+
+        Unknown keys are skipped (the peer's frontier may be a round
+        stale); the caller reconciles against the digest map it was
+        handed, not against this response.
+        """
+        with self._lock:
+            blobs: dict[str, bytes] = {}
+            for key in keys:
+                tier_name, bucket_id = self._parse_partition_key(key)
+                tier = self._fine if tier_name == "f" else self._coarse
+                sketch = tier.get(bucket_id)
+                if sketch is not None:
+                    blobs[key] = _freeze(sketch)
+            return blobs
+
+    def adopt_partitions(
+        self,
+        blobs: Mapping[str, bytes],
+        authoritative_keys: Iterable[str],
+        counters: Mapping[str, int | None],
+    ) -> int:
+        """Install a peer's diverged partitions; returns partitions changed.
+
+        *authoritative_keys* is the peer's complete partition key set:
+        local partitions outside it are dropped (the peer's retention
+        already expired them), keys in *blobs* are deserialised and
+        installed wholesale, and everything else is left untouched
+        (digest-equal by assumption).  *counters* replaces the local
+        counter state (:meth:`sync_counters` shape).  After adoption
+        this store's :meth:`snapshot` is byte-identical to the peer's
+        — the convergence property the anti-entropy tests pin.
+        """
+        keep = set(authoritative_keys)
+        changed = 0
+        with self._lock:
+            for tier_name, tier in (
+                ("f", self._fine), ("c", self._coarse)
+            ):
+                for bucket_id in sorted(tier):
+                    if self._partition_key(tier_name, bucket_id) not in keep:
+                        del tier[bucket_id]
+                        changed += 1
+            for key, blob in blobs.items():
+                tier_name, bucket_id = self._parse_partition_key(key)
+                reader = _SnapshotReader(blob)
+                sketch = _thaw(
+                    reader,
+                    self._view_factory,
+                    self._fine_sharded and tier_name == "f",
+                )
+                if not reader.exhausted:
+                    raise SerializationError(
+                        f"trailing bytes after partition blob {key!r}"
+                    )
+                tier = self._fine if tier_name == "f" else self._coarse
+                tier[bucket_id] = sketch
+                changed += 1
+            self._events_recorded = int(counters["events_recorded"])
+            self._dropped_late = int(counters["dropped_late"])
+            self._events_expired = int(counters["events_expired"])
+            marker = counters.get("compact_marker")
+            self._compact_marker = (
+                None if marker is None else int(marker)
+            )
+            if changed:
+                self._version += 1
+                self._cached_view = None
+                self._cached_key = None
+            return changed
 
     # ------------------------------------------------------------------
     # Snapshots

@@ -1,0 +1,162 @@
+"""Partition-tolerance suite: the acceptance scenarios for the cluster.
+
+Every scenario runs on a :class:`~repro.service.clock.ManualClock`
+with a seeded :class:`~repro.cluster.netfault.NetworkFaultInjector`,
+and ends with the strongest convergence check available: every replica
+of every ``(origin, tenant)`` store byte-identical across the nodes
+that should hold it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import LocalCluster, NetworkFaultInjector
+
+VALUES = [float(v) for v in range(100)]
+
+
+class TestHealedPartition:
+    def test_replicas_converge_after_a_healed_partition(self):
+        fault = NetworkFaultInjector(seed=7)
+        with LocalCluster(n_nodes=3, fault=fault) as cluster:
+            with cluster.client() as client:
+                client.ingest("m", VALUES)
+            cluster.run_for(1_000.0)
+            leader = cluster.leader_of("m")
+            others = [n for n in cluster.node_ids if n != leader]
+            # Split the data plane: the leader alone on one side.  The
+            # proxy and supervisor are unlisted, so writes still reach
+            # the leader while replication to the others is cut.
+            fault.partition({leader}, set(others))
+            cluster.run_for(2_000.0)
+            with cluster.client() as client:
+                client.ingest("m", [500.0] * 30)
+            cluster.run_for(2_000.0)
+            behind = [
+                n
+                for n in others
+                if cluster.node(n).applied_watermark(leader)
+                < cluster.node(leader).wal_watermark()
+            ]
+            assert behind, "partition should have stalled replication"
+            fault.heal()
+            cluster.run_for(5_000.0)
+            assert cluster.converged()
+            for node_id in cluster.node_ids:
+                node = cluster.node(node_id)
+                if node_id != leader:
+                    assert node.applied_watermark(
+                        leader
+                    ) == cluster.node(leader).wal_watermark()
+
+    def test_minority_leader_cedes_to_the_majority_side(self):
+        fault = NetworkFaultInjector(seed=11)
+        with LocalCluster(n_nodes=3, fault=fault) as cluster:
+            with cluster.client() as client:
+                client.ingest("m", VALUES)
+            cluster.run_for(1_000.0)
+            leader = cluster.leader_of("m")
+            others = [n for n in cluster.node_ids if n != leader]
+            # This time the supervisor is partitioned away from the
+            # leader too: the cluster must fail over.
+            fault.partition({leader}, set(others) | {"supervisor", "proxy"})
+            cluster.run_for(3_000.0, step_ms=250.0)
+            assert not cluster.supervisor.view.is_alive(leader)
+            new_leader = cluster.leader_of("m")
+            assert new_leader in others
+            with cluster.client() as client:
+                assert client.ingest("m", [900.0] * 20) == 20
+            fault.heal()
+            cluster.run_for(6_000.0, step_ms=250.0)
+            assert cluster.converged()
+            with cluster.client() as client:
+                assert client.count("m") == len(VALUES) + 20
+
+
+def ingest_until_acked(cluster, client, metric, values, attempts=20):
+    """Retry through proxy-level 'unavailable' answers (dropped
+    forwards raise as application errors, which clients do not retry);
+    a dropped forward never reached the node, so retrying is safe."""
+    from repro.errors import ServiceError
+
+    for _attempt in range(attempts):
+        try:
+            return client.ingest(metric, values)
+        except ServiceError:
+            cluster.tick(advance_ms=100.0)
+    raise AssertionError(f"ingest not acked after {attempts} attempts")
+
+
+class TestLossyNetwork:
+    @pytest.mark.parametrize("seed", [3, 23, 2023])
+    def test_convergence_through_drops_delays_and_duplicates(self, seed):
+        fault = NetworkFaultInjector(
+            seed=seed,
+            drop_rate=0.10,
+            delay_rate=0.15,
+            delay_ms=20.0,
+            duplicate_rate=0.10,
+        )
+        with LocalCluster(n_nodes=3, fault=fault) as cluster:
+            acked = 0
+            with cluster.client(retries=8) as client:
+                for batch in range(5):
+                    acked += ingest_until_acked(
+                        cluster, client, "m", VALUES
+                    )
+                    cluster.tick(advance_ms=200.0)
+            cluster.run_for(8_000.0, step_ms=250.0)
+            assert cluster.converged()
+            assert fault.stats()["dropped"] > 0
+            with cluster.client(retries=8) as client:
+                # At-least-once under duplication: nothing acked may be
+                # lost, though duplicated forwards can double-apply.
+                assert client.count("m") >= acked == 5 * len(VALUES)
+
+
+class TestCrashRecovery:
+    def test_single_node_crash_heals_to_bit_identical_digests(self):
+        with LocalCluster(n_nodes=3) as cluster:
+            with cluster.client() as client:
+                client.ingest("m", VALUES, tags={"host": "a"})
+                client.ingest("m", VALUES, tags={"host": "b"})
+            cluster.run_for(1_000.0)
+            victim = cluster.leader_of("m", {"host": "a"})
+            cluster.crash(victim)
+            cluster.run_for(3_000.0, step_ms=250.0)
+            with cluster.client() as client:
+                client.ingest("m", [777.0] * 10, tags={"host": "a"})
+            cluster.restart(victim)
+            cluster.run_for(5_000.0, step_ms=250.0)
+            report = cluster.convergence_report()
+            assert report["converged"], report["mismatches"]
+            # Byte-identical snapshots imply identical digests; check
+            # the digests directly for one replicated store as well.
+            reference = None
+            for node_id in cluster.running_nodes():
+                state = cluster.node(node_id).partition_digests_for(
+                    victim, "m", {"host": "a"}
+                )
+                if state is None:
+                    continue
+                if reference is None:
+                    reference = state
+                assert state == reference
+
+    def test_crash_during_partition_then_heal(self):
+        fault = NetworkFaultInjector(seed=5)
+        with LocalCluster(n_nodes=3, fault=fault) as cluster:
+            with cluster.client() as client:
+                client.ingest("m", VALUES)
+            cluster.run_for(1_000.0)
+            leader = cluster.leader_of("m")
+            others = [n for n in cluster.node_ids if n != leader]
+            fault.partition({others[0]}, {leader, others[1]})
+            cluster.run_for(2_000.0)
+            cluster.crash(others[1])
+            cluster.run_for(3_000.0, step_ms=250.0)
+            fault.heal()
+            cluster.restart(others[1])
+            cluster.run_for(6_000.0, step_ms=250.0)
+            assert cluster.converged()

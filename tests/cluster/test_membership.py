@@ -1,0 +1,103 @@
+"""Unit tests for membership views and view-derived leadership."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HashRing, MembershipView, NodeStatus
+from repro.cluster.membership import EMPTY_VIEW
+from repro.errors import InvalidValueError
+
+
+def make_view(alive: dict[str, bool], epoch: int = 1) -> MembershipView:
+    return MembershipView(
+        epoch=epoch,
+        nodes={
+            node_id: NodeStatus(
+                node_id=node_id,
+                address=("127.0.0.1", 9000 + index),
+                alive=up,
+                wal_watermark=10 * index,
+                frontier={"n0": index},
+            )
+            for index, (node_id, up) in enumerate(sorted(alive.items()))
+        },
+    )
+
+
+class TestStatusQueries:
+    def test_is_alive_requires_a_known_alive_node(self):
+        view = make_view({"n0": True, "n1": False})
+        assert view.is_alive("n0")
+        assert not view.is_alive("n1")
+        assert not view.is_alive("n9")  # unknown -> not alive
+
+    def test_presumed_alive_is_optimistic_about_unknowns(self):
+        view = make_view({"n0": True, "n1": False})
+        assert view.presumed_alive("n0")
+        assert not view.presumed_alive("n1")
+        assert view.presumed_alive("n9")  # unknown -> presumed up
+        # Before the first push everything is presumed alive.
+        assert EMPTY_VIEW.presumed_alive("anything")
+
+    def test_alive_nodes_sorted(self):
+        view = make_view({"n2": True, "n0": True, "n1": False})
+        assert view.alive_nodes() == ["n0", "n2"]
+
+    def test_address_lookup(self):
+        view = make_view({"n0": True})
+        assert view.address("n0") == ("127.0.0.1", 9000)
+        assert view.address("n9") is None
+
+
+class TestLeadership:
+    def test_leader_is_first_alive_owner_in_ring_order(self):
+        ring = HashRing(["n0", "n1", "n2"])
+        key = "latency.api|region=eu"
+        owners = ring.owners(key)
+        all_up = make_view({node: True for node in owners})
+        assert all_up.leader(ring, key) == owners[0]
+        primary_down = make_view(
+            {node: node != owners[0] for node in owners}
+        )
+        assert primary_down.leader(ring, key) == owners[1]
+
+    def test_leader_none_when_every_owner_is_down(self):
+        ring = HashRing(["n0", "n1"])
+        view = make_view({"n0": False, "n1": False})
+        assert view.leader(ring, "k") is None
+
+    def test_replication_factor_bounds_the_candidate_set(self):
+        ring = HashRing(["n0", "n1", "n2"])
+        key = "k"
+        owners = ring.owners(key)
+        # Only the last owner is up, but it is outside the replica set.
+        view = make_view(
+            {node: node == owners[2] for node in owners}
+        )
+        assert view.leader(ring, key, replicas=2) is None
+        assert view.leader(ring, key) == owners[2]
+
+
+class TestWireFormat:
+    def test_view_round_trips(self):
+        view = make_view({"n0": True, "n1": False}, epoch=7)
+        decoded = MembershipView.from_wire(view.as_wire())
+        assert decoded.epoch == 7
+        assert set(decoded.nodes) == {"n0", "n1"}
+        for node_id in decoded.nodes:
+            got, want = decoded.nodes[node_id], view.nodes[node_id]
+            assert got.address == want.address
+            assert got.alive == want.alive
+            assert got.wal_watermark == want.wal_watermark
+            assert dict(got.frontier) == dict(want.frontier)
+
+    def test_from_wire_rejects_bad_epoch(self):
+        with pytest.raises(InvalidValueError):
+            MembershipView.from_wire({"epoch": -1, "nodes": {}})
+        with pytest.raises(InvalidValueError):
+            MembershipView.from_wire({"epoch": "seven", "nodes": {}})
+
+    def test_from_wire_rejects_missing_nodes(self):
+        with pytest.raises(InvalidValueError):
+            MembershipView.from_wire({"epoch": 1})

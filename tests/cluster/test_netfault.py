@@ -1,0 +1,85 @@
+"""Unit tests for the deterministic network-fault injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import NetworkFaultInjector
+from repro.errors import InvalidValueError
+
+
+class TestRates:
+    def test_quiet_injector_passes_everything(self):
+        fault = NetworkFaultInjector(seed=1)
+        for _ in range(50):
+            assert fault.decide("a", "b").action == "ok"
+
+    def test_drop_rate_one_drops_everything(self):
+        fault = NetworkFaultInjector(seed=1, drop_rate=1.0)
+        for _ in range(20):
+            assert fault.decide("a", "b").action == "drop"
+        assert fault.stats()["dropped"] == 20
+
+    def test_same_seed_replays_identical_decisions(self):
+        make = lambda: NetworkFaultInjector(
+            seed=42,
+            drop_rate=0.2,
+            delay_rate=0.2,
+            delay_ms=25.0,
+            duplicate_rate=0.2,
+        )
+        a, b = make(), make()
+        decisions_a = [a.decide("x", "y").action for _ in range(200)]
+        decisions_b = [b.decide("x", "y").action for _ in range(200)]
+        assert decisions_a == decisions_b
+        # A fault cocktail at these rates fires every action at least
+        # once in 200 draws; if not, the seed plumbing is broken.
+        assert {"ok", "drop", "delay", "duplicate"} <= set(decisions_a)
+
+    def test_delay_carries_the_configured_latency(self):
+        fault = NetworkFaultInjector(seed=3, delay_rate=1.0, delay_ms=75.0)
+        decision = fault.decide("a", "b")
+        assert decision.action == "delay"
+        assert decision.delay_ms == 75.0
+
+    def test_rates_validated(self):
+        with pytest.raises(InvalidValueError):
+            NetworkFaultInjector(drop_rate=1.5)
+        with pytest.raises(InvalidValueError):
+            NetworkFaultInjector(delay_rate=-0.1)
+
+
+class TestPartitions:
+    def test_cross_group_traffic_drops_in_both_directions(self):
+        fault = NetworkFaultInjector()
+        fault.partition({"n0"}, {"n1", "n2"})
+        assert fault.decide("n0", "n1").action == "drop"
+        assert fault.decide("n1", "n0").action == "drop"
+        assert fault.decide("n1", "n2").action == "ok"
+
+    def test_unlisted_endpoints_are_outside_the_split(self):
+        fault = NetworkFaultInjector()
+        fault.partition({"n0"}, {"n1"})
+        # The supervisor is in no group: it still reaches both sides.
+        assert fault.decide("supervisor", "n0").action == "ok"
+        assert fault.decide("supervisor", "n1").action == "ok"
+
+    def test_overlapping_groups_rejected(self):
+        fault = NetworkFaultInjector()
+        with pytest.raises(InvalidValueError):
+            fault.partition({"n0", "n1"}, {"n1", "n2"})
+
+    def test_cut_link_is_bidirectional_and_targeted(self):
+        fault = NetworkFaultInjector()
+        fault.cut_link("n0", "n1")
+        assert fault.decide("n0", "n1").action == "drop"
+        assert fault.decide("n1", "n0").action == "drop"
+        assert fault.decide("n0", "n2").action == "ok"
+
+    def test_heal_restores_traffic_atomically(self):
+        fault = NetworkFaultInjector()
+        fault.partition({"n0"}, {"n1"})
+        fault.cut_link("n1", "n2")
+        fault.heal()
+        for src, dst in [("n0", "n1"), ("n1", "n2")]:
+            assert fault.decide(src, dst).action == "ok"

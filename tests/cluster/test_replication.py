@@ -1,0 +1,175 @@
+"""WAL-streaming replication: pulls, cursors, idempotency, fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import LocalCluster
+from repro.errors import InvalidValueError, ServiceError
+from repro.service.client import QuantileClient
+
+
+def direct_client(cluster, node_id):
+    host, port = cluster.node(node_id).address
+    return QuantileClient(host, port, clock=cluster.clock, retries=0)
+
+
+def origin_watermark(cluster, origin):
+    return cluster.node(origin).wal_watermark()
+
+
+def followers_of(cluster, origin):
+    return [n for n in cluster.running_nodes() if n != origin]
+
+
+class TestWalStreaming:
+    def test_followers_apply_the_leader_wal(self):
+        with LocalCluster(n_nodes=3) as cluster:
+            with cluster.client() as client:
+                client.ingest("m", [float(v) for v in range(100)])
+            cluster.run_for(1_000.0)
+            leader = cluster.leader_of("m")
+            assert origin_watermark(cluster, leader) == 1
+            for follower in followers_of(cluster, leader):
+                node = cluster.node(follower)
+                assert node.applied_watermark(leader) == 1
+
+    def test_replicated_reads_match_the_leader(self):
+        with LocalCluster(n_nodes=3) as cluster:
+            with cluster.client() as client:
+                client.ingest("m", [float(v) for v in range(200)])
+            cluster.run_for(1_000.0)
+            leader = cluster.leader_of("m")
+            reference = None
+            for node_id in cluster.running_nodes():
+                with direct_client(cluster, node_id) as direct:
+                    assert direct.count("m") == 200
+                    p50 = direct.quantile("m", 0.5)
+                if reference is None:
+                    reference = p50
+                # Identical replica state answers identically, on the
+                # leader and on every follower.
+                assert p50 == reference
+            assert leader in cluster.running_nodes()
+
+    def test_duplicate_delivery_is_idempotent(self):
+        with LocalCluster(n_nodes=2) as cluster:
+            follower = cluster.node_ids[1]
+            origin = cluster.node_ids[0]
+            node = cluster.node(follower)
+            records = [
+                [
+                    1,
+                    {
+                        "metric": "dup",
+                        "values": [1.0, 2.0, 3.0],
+                        "ts": 1_000_000.0,
+                        "tags": None,
+                        "now": 1_000_000.0,
+                    },
+                ]
+            ]
+            assert node.apply_replicated(origin, records, upto=1) == 1
+            assert node.apply_replicated(origin, records, upto=1) == 0
+            assert node.applied_watermark(origin) == 1
+
+    def test_a_node_never_replicates_from_itself(self):
+        with LocalCluster(n_nodes=2) as cluster:
+            node = cluster.node("n0")
+            with pytest.raises(InvalidValueError):
+                node.apply_replicated("n0", [], upto=1)
+
+
+class TestReplPullOp:
+    def test_pull_returns_records_and_cursor(self):
+        with LocalCluster(n_nodes=2) as cluster:
+            with cluster.client() as client:
+                client.ingest("m", [1.0, 2.0])
+                client.ingest("m", [3.0])
+            leader = cluster.leader_of("m")
+            with direct_client(cluster, leader) as direct:
+                response = direct.call(
+                    {"op": "repl_pull", "after": 0, "max_records": 10}
+                )
+            assert response["snapshot_needed"] is False
+            assert response["upto"] == 2
+            assert [seq for seq, _record in response["records"]] == [1, 2]
+            record = response["records"][0][1]
+            assert record["metric"] == "m"
+            assert record["values"] == [1.0, 2.0]
+
+    def test_pull_behind_a_checkpoint_demands_a_snapshot(self):
+        with LocalCluster(n_nodes=2) as cluster:
+            with cluster.client() as client:
+                client.ingest("m", [1.0, 2.0])
+                client.checkpoint()
+            leader = cluster.leader_of("m")
+            with direct_client(cluster, leader) as direct:
+                response = direct.call({"op": "repl_pull", "after": 0})
+            assert response["snapshot_needed"] is True
+            assert response["records"] == []
+
+    def test_pull_validates_cursor_and_limit(self):
+        with LocalCluster(n_nodes=2) as cluster:
+            with direct_client(cluster, "n0") as direct:
+                with pytest.raises(ServiceError):
+                    direct.call({"op": "repl_pull", "after": -1})
+                with pytest.raises(ServiceError):
+                    direct.call(
+                        {"op": "repl_pull", "after": 0, "max_records": 0}
+                    )
+
+    def test_partial_replication_filters_keys_but_advances_cursor(self):
+        with LocalCluster(n_nodes=3, replication_factor=1) as cluster:
+            with cluster.client() as client:
+                client.ingest("solo", [1.0, 2.0, 3.0])
+            leader = cluster.leader_of("solo")
+            other = [n for n in cluster.node_ids if n != leader][0]
+            with direct_client(cluster, leader) as direct:
+                response = direct.call(
+                    {"op": "repl_pull", "after": 0, "peer": other}
+                )
+            # R=1: no other node replicates the key, so the peer gets
+            # no records — but the cursor still advances past them.
+            assert response["records"] == []
+            assert response["upto"] == 1
+
+
+class TestCatchUp:
+    def test_checkpoint_truncation_falls_back_to_anti_entropy(self):
+        with LocalCluster(n_nodes=2) as cluster:
+            with cluster.client() as client:
+                client.ingest("m", [float(v) for v in range(50)])
+                # Truncate every WAL before any replication tick ran:
+                # followers must now adopt partitions, not tail.
+                client.checkpoint()
+            cluster.run_for(3_000.0)
+            leader = cluster.leader_of("m")
+            follower = followers_of(cluster, leader)[0]
+            node = cluster.node(follower)
+            assert node.applied_watermark(leader) == origin_watermark(
+                cluster, leader
+            )
+            assert cluster.converged()
+            adopted = cluster.telemetry.counter(
+                "cluster.ae_partitions_adopted"
+            ).value
+            assert adopted > 0
+
+    def test_restarted_follower_catches_up(self):
+        with LocalCluster(n_nodes=3) as cluster:
+            with cluster.client() as client:
+                client.ingest("m", [float(v) for v in range(100)])
+            cluster.run_for(1_000.0)
+            leader = cluster.leader_of("m")
+            follower = followers_of(cluster, leader)[0]
+            cluster.crash(follower)
+            cluster.run_for(2_000.0)
+            with cluster.client() as client:
+                client.ingest("m", [float(v) for v in range(100)])
+            cluster.restart(follower)
+            cluster.run_for(3_000.0)
+            assert cluster.node(follower).applied_watermark(
+                leader
+            ) == origin_watermark(cluster, leader)
+            assert cluster.converged()

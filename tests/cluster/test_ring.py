@@ -1,0 +1,78 @@
+"""Unit tests for the deterministic consistent-hash ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HashRing
+from repro.errors import InvalidValueError
+
+NODES = ["n0", "n1", "n2"]
+KEYS = [f"metric.{index}|host=h{index % 7}" for index in range(200)]
+
+
+class TestConstruction:
+    def test_rejects_empty_node_list(self):
+        with pytest.raises(InvalidValueError):
+            HashRing([])
+
+    def test_rejects_duplicate_nodes(self):
+        with pytest.raises(InvalidValueError):
+            HashRing(["a", "b", "a"])
+
+    def test_rejects_nonpositive_vnodes(self):
+        with pytest.raises(InvalidValueError):
+            HashRing(NODES, vnodes=0)
+
+    def test_membership_and_len(self):
+        ring = HashRing(NODES)
+        assert len(ring) == 3
+        assert "n1" in ring
+        assert "n9" not in ring
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        a, b = HashRing(NODES), HashRing(list(reversed(NODES)))
+        for key in KEYS:
+            assert a.owners(key) == b.owners(key)
+
+    def test_owners_are_distinct_and_primary_first(self):
+        ring = HashRing(NODES)
+        for key in KEYS:
+            owners = ring.owners(key, 2)
+            assert len(owners) == len(set(owners)) == 2
+            assert owners[0] == ring.primary(key)
+
+    def test_owners_none_returns_every_node(self):
+        ring = HashRing(NODES)
+        for key in KEYS[:20]:
+            assert sorted(ring.owners(key)) == sorted(NODES)
+
+    def test_is_owner_matches_owner_list(self):
+        ring = HashRing(NODES)
+        for key in KEYS[:50]:
+            owners = ring.owners(key, 2)
+            for node in NODES:
+                assert ring.is_owner(key, node, 2) == (node in owners)
+
+    def test_every_node_gets_some_keys(self):
+        ring = HashRing(NODES)
+        primaries = {ring.primary(key) for key in KEYS}
+        assert primaries == set(NODES)
+
+    def test_adding_a_node_moves_only_a_fraction_of_keys(self):
+        before = HashRing(NODES)
+        after = HashRing(NODES + ["n3"])
+        moved = sum(
+            1
+            for key in KEYS
+            if before.primary(key) != after.primary(key)
+        )
+        # Consistent hashing: ~1/4 of keys should move to the new
+        # node; a modulo scheme would reshuffle nearly all of them.
+        assert moved < len(KEYS) // 2
+        # Keys that moved must have moved *to* the new node.
+        for key in KEYS:
+            if before.primary(key) != after.primary(key):
+                assert after.primary(key) == "n3"

@@ -1,0 +1,122 @@
+"""Registry-driven merge algebra: commutativity and associativity.
+
+The cluster's read path merges per-origin sketches in whatever order
+the origin map iterates, and anti-entropy assumes a merged view is
+independent of which replica contributed first — so ``merge`` must be
+commutative and associative *up to sketch error*, including between
+operands at mismatched collapse/compaction levels (a freshly started
+replica merging into one that has absorbed days of stream).
+
+Operands are built deliberately lopsided: a small narrow-range sketch
+against a large wide-range one that has forced UDDSketch collapses and
+KLL/REQ compactions.  Deterministic sketches must agree exactly;
+randomized ones within a rank tolerance against the combined stream.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.registry import SKETCH_CLASSES, paper_config
+
+ALL_SKETCHES = sorted(SKETCH_CLASSES)
+
+#: Sketches whose merge is a deterministic function of the operands
+#: (bucket/moment addition), so answers must match exactly regardless
+#: of merge order.
+DETERMINISTIC = ("ddsketch", "uddsketch", "hdr", "exact")
+
+QS = (0.05, 0.25, 0.5, 0.75, 0.95)
+
+#: Rank tolerance for randomized sketches: generous against the
+#: paper's ~1% targets, tight enough to catch double counting or a
+#: dropped compactor level immediately.
+RANK_TOL = 0.05
+
+rng = np.random.default_rng(99)
+SMALL = np.sort(rng.uniform(40.0, 60.0, 256))
+LARGE = np.sort(rng.uniform(1.0, 1_000.0, 20_000))
+MEDIUM = np.sort(rng.uniform(200.0, 400.0, 4_096))
+
+
+def filled(name, data, seed=11):
+    sketch = paper_config(name, seed=seed)
+    sketch.update_batch(data)
+    return sketch
+
+
+def merged(left, right):
+    out = copy.deepcopy(left)
+    out.merge(copy.deepcopy(right))
+    return out
+
+
+def assert_rank_close(sketch, data, label):
+    n = len(data)
+    for q in QS:
+        estimate = sketch.quantile(q)
+        rank = np.searchsorted(data, estimate, side="right")
+        assert abs(rank / n - q) <= RANK_TOL, (
+            f"{label}: q={q} estimate={estimate} rank-error "
+            f"{abs(rank / n - q):.4f}"
+        )
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+def test_merge_is_commutative_at_mismatched_levels(name):
+    a, b = filled(name, SMALL), filled(name, LARGE)
+    ab, ba = merged(a, b), merged(b, a)
+    combined = np.sort(np.concatenate([SMALL, LARGE]))
+    assert ab.count == ba.count == len(combined)
+    # Extremes are tracked commutatively (DCS floors values into its
+    # integer universe, so they match each other, not the raw data).
+    assert ab.min == ba.min
+    assert ab.max == ba.max
+    for order, sketch in (("a+b", ab), ("b+a", ba)):
+        assert_rank_close(sketch, combined, f"{name} {order}")
+    if name in DETERMINISTIC:
+        assert ab.quantiles(QS) == ba.quantiles(QS)
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+def test_merge_is_associative_at_mismatched_levels(name):
+    combined = np.sort(np.concatenate([SMALL, MEDIUM, LARGE]))
+    left = merged(
+        merged(filled(name, SMALL), filled(name, MEDIUM)),
+        filled(name, LARGE),
+    )
+    right = merged(
+        filled(name, SMALL),
+        merged(filled(name, MEDIUM), filled(name, LARGE)),
+    )
+    assert left.count == right.count == len(combined)
+    assert left.min == right.min
+    assert left.max == right.max
+    for order, sketch in ((" (a+b)+c", left), ("a+(b+c)", right)):
+        assert_rank_close(sketch, combined, f"{name}{order}")
+    if name in DETERMINISTIC:
+        assert left.quantiles(QS) == right.quantiles(QS)
+
+
+@pytest.mark.parametrize("name", ALL_SKETCHES)
+def test_merging_an_empty_operand_is_identity_in_both_orders(name):
+    a, empty = filled(name, SMALL), paper_config(name, seed=11)
+    ae, ea = merged(a, empty), merged(empty, a)
+    assert ae.count == ea.count == a.count
+    assert ae.quantiles(QS) == a.quantiles(QS)
+    assert ea.quantiles(QS) == a.quantiles(QS)
+
+
+def test_uddsketch_operands_really_are_at_mismatched_collapse_levels():
+    # The premise of the suite: the large operand has collapsed, the
+    # small one has not — so the merge must reconcile resolutions.
+    small, large = filled("uddsketch", SMALL), filled("uddsketch", LARGE)
+    assert large._collapses > small._collapses
+
+
+def test_kll_operands_really_are_at_mismatched_compaction_levels():
+    small, large = filled("kll", SMALL), filled("kll", LARGE)
+    assert len(large._compactors) > len(small._compactors)

@@ -1,0 +1,104 @@
+"""Client retry/backoff on the injectable clock: sleep-free and seeded.
+
+The failover suite leans on two properties pinned here: a
+:class:`~repro.service.clock.ManualClock` makes whole backoff
+schedules run without sleeping (the clock *advances* instead), and the
+jitter draws come from a seeded generator so retry schedules are a
+pure function of ``(backoff_ms, jitter, jitter_seed)``.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.errors import ServiceUnavailableError
+from repro.obs.telemetry import Telemetry
+from repro.service import ManualClock, QuantileClient
+
+
+@pytest.fixture()
+def dead_port():
+    """A loopback port with nothing listening (connects are refused)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        yield probe.getsockname()[1]
+
+
+def exhaust(client):
+    with pytest.raises(ServiceUnavailableError):
+        client.call({"op": "ping"})
+
+
+class TestManualClockBackoff:
+    def test_backoff_advances_the_clock_instead_of_sleeping(
+        self, dead_port
+    ):
+        clock = ManualClock(0.0)
+        client = QuantileClient(
+            "127.0.0.1",
+            dead_port,
+            retries=3,
+            backoff_ms=100.0,
+            clock=clock,
+        )
+        exhaust(client)
+        # Waits 100, 200, 400 between the four attempts — and the test
+        # itself finishes without any real sleeping.
+        assert clock.now_ms() == 700.0
+
+    def test_zero_retries_never_touches_the_clock(self, dead_port):
+        clock = ManualClock(0.0)
+        client = QuantileClient(
+            "127.0.0.1", dead_port, retries=0, clock=clock
+        )
+        exhaust(client)
+        assert clock.now_ms() == 0.0
+
+    def test_retries_are_counted_in_telemetry(self, dead_port):
+        clock = ManualClock(0.0)
+        telemetry = Telemetry(clock=clock)
+        client = QuantileClient(
+            "127.0.0.1",
+            dead_port,
+            retries=2,
+            backoff_ms=10.0,
+            clock=clock,
+            telemetry=telemetry,
+        )
+        exhaust(client)
+        snapshot = telemetry.snapshot()["counters"]
+        assert snapshot["client.transport_retries"] == 2
+        assert snapshot["client.backoff_total_ms"] == 30  # 10 + 20
+
+
+class TestSeededJitter:
+    def run_schedule(self, dead_port, seed):
+        clock = ManualClock(0.0)
+        client = QuantileClient(
+            "127.0.0.1",
+            dead_port,
+            retries=4,
+            backoff_ms=50.0,
+            jitter=0.5,
+            jitter_seed=seed,
+            clock=clock,
+        )
+        exhaust(client)
+        return clock.now_ms()
+
+    def test_same_seed_same_schedule(self, dead_port):
+        assert self.run_schedule(dead_port, 7) == self.run_schedule(
+            dead_port, 7
+        )
+
+    def test_distinct_seeds_desynchronise(self, dead_port):
+        assert self.run_schedule(dead_port, 7) != self.run_schedule(
+            dead_port, 8
+        )
+
+    def test_jitter_only_stretches_the_wait(self, dead_port):
+        base = 50.0 + 100.0 + 200.0 + 400.0
+        total = self.run_schedule(dead_port, 7)
+        assert base <= total <= base * 1.5

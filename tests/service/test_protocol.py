@@ -144,3 +144,63 @@ class TestResponseConstructors:
         assert response["error"] == protocol.OVERLOADED
         assert response["shed"] is True
         assert response["ok"] is False
+
+
+class TestIdentityOps:
+    """``ping``/``node_info`` over a live server: the ops every
+    cluster health check and anti-entropy round lead with."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.service import ManualClock, MetricRegistry, QuantileServer
+
+        registry = MetricRegistry(clock=ManualClock(0.0))
+        with QuantileServer(registry, node_id="proto-test") as srv:
+            yield srv
+
+    @pytest.fixture()
+    def client(self, server):
+        from repro.service import QuantileClient
+
+        host, port = server.address
+        with QuantileClient(host, port, retries=0) as cli:
+            yield cli
+
+    def test_ping_answers_pong(self, client):
+        assert client.call({"op": "ping"}) == {"ok": True, "pong": True}
+
+    def test_node_info_reports_identity_and_frontier(self, client):
+        info = client.node_info()
+        assert info == {
+            "node_id": "proto-test",
+            "role": "standalone",
+            "wal_watermark": 0,
+            "frontier": {},
+        }
+
+    def test_node_info_wire_shape_is_flat_json(self, client):
+        response = client.call({"op": "node_info"})
+        assert response["ok"] is True
+        assert set(response) == {
+            "ok", "node_id", "role", "wal_watermark", "frontier",
+        }
+        assert isinstance(response["wal_watermark"], int)
+        assert isinstance(response["frontier"], dict)
+
+    def test_cluster_node_info_carries_watermark_and_frontier(self):
+        from repro.cluster import LocalCluster
+        from repro.service import QuantileClient
+
+        with LocalCluster(n_nodes=2) as cluster:
+            with cluster.client() as via_proxy:
+                via_proxy.ingest("m", [1.0, 2.0])
+            leader = cluster.leader_of("m")
+            host, port = cluster.node(leader).address
+            with QuantileClient(
+                host, port, clock=cluster.clock, retries=0
+            ) as direct:
+                info = direct.node_info()
+            assert info["node_id"] == leader
+            assert info["role"] == "leader"
+            assert info["wal_watermark"] == 1
+            assert info["frontier"][leader] == 1
