@@ -23,6 +23,9 @@ help:
 	@echo "  cluster-demo   3-node replicated cluster demo (ingest/failover/convergence)"
 	@echo "  cluster-test   cluster fault suite: partitions, crashes, convergence"
 	@echo "  bench-cluster  cluster requests/sec vs node count + failover timing"
+	@echo "  traffic        scenario catalog + determinism gate (each scenario twice)"
+	@echo "  traffic-test   workload suite: generators, continuous queries, scenarios"
+	@echo "  bench-traffic  per-scenario throughput/shed/p99 benchmark (BENCH_traffic.json)"
 
 # Tier-1 gate: everything except tests marked `slow` (pyproject's
 # addopts already applies -m 'not slow').
@@ -103,6 +106,24 @@ cluster-test:
 # --output DIR" for the CI-sized run.
 bench-cluster:
 	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_cluster.py $(CLUSTER_BENCH_ARGS)
+
+# The scenario catalog with its determinism gate: every scenario runs
+# twice on one seed and the SLO reports must match byte-for-byte.
+# TRAFFIC_ARGS="--scenario flash_crowd" (etc.) narrows the run.
+traffic:
+	PYTHONPATH=src $(PYTHON) -m repro.workload --scenario all --fast \
+		$(TRAFFIC_ARGS)
+
+traffic-test:
+	$(PYTEST) -q tests/workload tests/data/test_traffic.py \
+		tests/service/test_continuous.py
+
+# Per-scenario wall throughput, shed rate and p99 ingest/query spans
+# (wall telemetry on the same deterministic traffic). Writes
+# BENCH_traffic.json with TRAFFIC_BENCH_ARGS="--output DIR".
+bench-traffic:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_traffic.py \
+		$(TRAFFIC_BENCH_ARGS)
 
 # The concurrency gate (DESIGN §13): the LCK/RACE static family over
 # the whole tree, then the runtime sanitizer suite — its own unit

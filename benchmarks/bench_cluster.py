@@ -37,7 +37,10 @@ import threading
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.cluster import LocalCluster
+from repro.data.traffic import LatencyValues, ZipfTenants
 from repro.experiments.export import write_json
 
 SEED = 20230807
@@ -82,8 +85,14 @@ def _run_threads(n_threads: int, work) -> float:
 # ----------------------------------------------------------------------
 
 def _cluster_rates(n_nodes: int, scale: dict) -> dict:
-    metrics = [f"m{index:02d}" for index in range(scale["metrics"])]
-    batch = [float(value) for value in range(scale["batch"])]
+    metrics = ZipfTenants(
+        n_tenants=scale["metrics"], prefix="m"
+    ).names
+    batch = (
+        LatencyValues()
+        .sample(scale["batch"], np.random.default_rng(SEED))
+        .tolist()
+    )
     n_ingest = scale["ingest_requests_per_thread"]
     n_query = scale["query_requests_per_thread"]
     errors: list[BaseException] = []

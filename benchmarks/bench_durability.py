@@ -39,6 +39,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.data.traffic import LatencyValues
 from repro.durability import DurabilityManager, FlushPolicy
 from repro.experiments.config import BASE_SEED, current_scale
 from repro.service.clock import ManualClock
@@ -63,7 +64,7 @@ POLICIES = ("os", "batch", "always")
 
 def _make_batches(events: int, seed: int) -> list[np.ndarray]:
     rng = np.random.default_rng(seed)
-    values = rng.lognormal(mean=4.6, sigma=0.5, size=events)
+    values = LatencyValues().sample(events, rng)
     return [
         values[start : start + BATCH_SIZE]
         for start in range(0, events, BATCH_SIZE)

@@ -38,6 +38,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.registry import paper_config
+from repro.data.traffic import LatencyValues
 from repro.experiments.config import BASE_SEED, current_scale
 from repro.obs import NOOP, Telemetry
 from repro.obs.export import to_canonical_json, write_json, write_prometheus
@@ -62,7 +63,7 @@ MIN_EVENTS = 100_000
 
 def _make_batches(events: int, seed: int) -> list[np.ndarray]:
     rng = np.random.default_rng(seed)
-    values = rng.lognormal(mean=4.6, sigma=0.5, size=events)
+    values = LatencyValues().sample(events, rng)
     return [
         values[start : start + BATCH_SIZE]
         for start in range(0, events, BATCH_SIZE)

@@ -1,0 +1,128 @@
+"""Traffic-scenario benchmark — the gate behind ``BENCH_traffic.json``.
+
+Not a paper figure: this measures the production traffic simulator
+(:mod:`repro.workload`) end to end.  Every catalog scenario runs with
+``wall_telemetry=True`` — scenario *time* stays on the manual clock
+(sleep-free, deterministic traffic), while telemetry spans time
+themselves on the monotonic clock, so the per-op p99s in each row are
+real wall latencies of the server under that scenario's load shape.
+
+Per scenario the row records offered/accepted/shed traffic, the shed
+rate, wall-clock values/second, the p99 ingest and query span (µs, from
+the SLO checks each scenario already asserts), and whether every SLO
+passed.  The checks assert structure, not speed: every scenario must
+pass its SLOs, conservation must hold, and the flash-crowd scenario
+must actually shed.
+
+Run standalone::
+
+    PYTHONPATH=src:. python benchmarks/bench_traffic.py --output . [--smoke]
+
+``--smoke`` (or ``REPRO_SCALE=smoke``) runs the scenarios in fast mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.export import write_json
+from repro.workload import SCENARIOS, run_scenario
+
+SEED = 2023
+
+
+def _slo_observed(report: dict, name: str) -> float:
+    for slo in report["slos"]:
+        if slo["name"] == name:
+            return float(slo["observed"])
+    return 0.0
+
+
+def _row(name: str, fast: bool) -> dict:
+    start = time.perf_counter()
+    report = run_scenario(name, seed=SEED, fast=fast, wall_telemetry=True)
+    elapsed_s = time.perf_counter() - start
+    traffic = report["traffic"]
+    offered = traffic["offered_values"]
+    shed_rate = traffic["shed_values"] / offered if offered else 0.0
+    return {
+        "scenario": name,
+        "passed": report["passed"],
+        "elapsed_s": elapsed_s,
+        "offered_values": offered,
+        "accepted_values": traffic["accepted_values"],
+        "shed_values": traffic["shed_values"],
+        "failed_batches": traffic["failed_batches"],
+        "shed_rate": shed_rate,
+        "values_per_sec": offered / elapsed_s if elapsed_s else 0.0,
+        "p99_ingest_us": _slo_observed(report, "p99_ingest_us"),
+        "p99_query_us": _slo_observed(report, "p99_query_us"),
+        "slos": len(report["slos"]),
+        "slos_failed": sum(
+            1 for slo in report["slos"] if not slo["passed"]
+        ),
+    }
+
+
+def _check(rows: dict[str, dict]) -> None:
+    assert set(rows) == set(SCENARIOS)
+    for row in rows.values():
+        assert row["passed"], (row["scenario"], row["slos_failed"])
+        assert row["offered_values"] > 0
+        assert row["values_per_sec"] > 0
+    # The flash crowd exists to shed; nothing else may.
+    assert rows["flash_crowd"]["shed_values"] > 0
+    for name, row in rows.items():
+        if name != "flash_crowd":
+            assert row["shed_values"] == 0, (name, row["shed_values"])
+
+
+def bench_traffic(output: Path | None = None, smoke: bool = False) -> dict:
+    smoke = smoke or os.environ.get("REPRO_SCALE", "").lower() == "smoke"
+    rows: dict[str, dict] = {}
+    for name in sorted(SCENARIOS):
+        rows[name] = _row(name, fast=smoke)
+        row = rows[name]
+        print(
+            f"{name:<16} {'PASS' if row['passed'] else 'FAIL'}  "
+            f"{row['offered_values']:>6} values  "
+            f"{row['values_per_sec']:>10,.0f} v/s  "
+            f"shed {row['shed_rate']:>6.1%}  "
+            f"p99 ingest {row['p99_ingest_us']:>9,.0f} us  "
+            f"p99 query {row['p99_query_us']:>9,.0f} us"
+        )
+    _check(rows)
+    result = {
+        "schema": "repro.bench_traffic/1",
+        "seed": SEED,
+        "fast": smoke,
+        "scenarios": rows,
+    }
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+        path = write_json(result, output / "BENCH_traffic.json")
+        print(f"\nwrote {path}")
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="DIR",
+        help="directory for BENCH_traffic.json",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run scenarios in fast mode (CI scale)",
+    )
+    args = parser.parse_args(argv)
+    bench_traffic(output=args.output, smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

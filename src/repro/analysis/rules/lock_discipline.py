@@ -4,8 +4,9 @@ PR 1's concurrency model (DESIGN.md) is lock-per-shard plus a meta lock
 for bookkeeping and a cache lock for the merged view; its correctness
 argument is that *every* write to shared instance state happens under
 one of those locks.  ``LCK001`` machine-checks the lexical half of that
-argument across ``repro.parallel``, ``repro.service`` and
-``repro.durability``: inside a *lock-owning* class, an assignment or
+argument across ``repro.parallel``, ``repro.service``,
+``repro.durability``, ``repro.cluster`` and ``repro.workload``:
+inside a *lock-owning* class, an assignment or
 augmented assignment to ``self.<attr>`` outside ``__init__`` must sit
 inside a ``with`` statement whose context expression mentions a lock
 (any dotted name containing ``lock``, e.g. ``self._meta_lock``,
@@ -124,6 +125,7 @@ class LockDisciplineRule(Rule):
         "repro.service",
         "repro.durability",
         "repro.cluster",
+        "repro.workload",
     )
 
     def check(

@@ -10,7 +10,8 @@ all three.
 
 ``OBS001`` machine-checks that: inside the instrumented packages
 (``repro.obs``, ``repro.service``, ``repro.parallel``,
-``repro.streaming``) no code may *read* a clock directly — calls to
+``repro.streaming``, ``repro.durability``, ``repro.cluster``,
+``repro.workload``) no code may *read* a clock directly — calls to
 ``time.time``/``time_ns``/``monotonic``/``monotonic_ns``/
 ``perf_counter``/``perf_counter_ns`` (dotted or imported bare) are
 flagged.  ``repro.service.clock`` itself is exempt: it is the single
@@ -67,6 +68,7 @@ class DirectClockReadRule(Rule):
         "repro.streaming",
         "repro.durability",
         "repro.cluster",
+        "repro.workload",
     )
 
     def check(

@@ -26,6 +26,12 @@ from repro.data.streams import (
     EventBatch,
     generate_stream,
 )
+from repro.data.traffic import (
+    DiurnalCurve,
+    FlashCrowd,
+    LatencyValues,
+    ZipfTenants,
+)
 
 #: The four accuracy data sets of Sec 4.1, by paper name.
 ACCURACY_DATASETS = {
@@ -60,4 +66,8 @@ __all__ = [
     "DEFAULT_RATE_PER_SEC",
     "DEFAULT_DELAY_MEAN_MS",
     "ACCURACY_DATASETS",
+    "ZipfTenants",
+    "DiurnalCurve",
+    "FlashCrowd",
+    "LatencyValues",
 ]

@@ -25,7 +25,11 @@ from repro.durability.faults import (
     CrashInjector,
     InjectedIOError,
 )
-from repro.durability.manager import DurabilityManager, RecoveryReport
+from repro.durability.manager import (
+    DurabilityManager,
+    RecoveryReport,
+    read_wal_records,
+)
 from repro.durability.wal import (
     FlushPolicy,
     WriteAheadLog,
@@ -52,6 +56,7 @@ __all__ = [
     "fsync_dir",
     "list_checkpoints",
     "list_segments",
+    "read_wal_records",
     "scan_segment",
     "segment_path",
 ]

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.durability.checkpoint import Checkpointer
 from repro.durability.wal import FlushPolicy, WriteAheadLog
@@ -302,3 +302,23 @@ class DurabilityManager:
 def record_payload(payload: bytes) -> dict[str, Any]:
     """Decode one WAL record payload (test/debug helper)."""
     return decode_message(payload)
+
+
+def read_wal_records(
+    data_dir: str | Path, after_seq: int = 0
+) -> "Iterator[tuple[int, dict[str, Any]]]":
+    """Read-only scan of a WAL directory: yields ``(seq, record)``.
+
+    Records come back decoded into the :meth:`DurabilityManager.journal`
+    shape (``metric``/``tags``/``values``/``ts``/``now``), in sequence
+    order, without opening the log for appends — replay works on a
+    freshly-constructed :class:`~repro.durability.wal.WriteAheadLog`
+    precisely so recorded streams can be re-read after the writing
+    process is gone.  This is the what-if seam: the workload layer
+    replays one recorded stream through *differently configured*
+    registries (:mod:`repro.workload.whatif`), which checkpoint blobs
+    cannot support (they pin the sketch config) but raw records can.
+    """
+    wal = WriteAheadLog(Path(data_dir))
+    for seq, payload in wal.replay(after_seq=after_seq):
+        yield seq, decode_message(payload)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.registry import paper_config
+from repro.data.traffic import LatencyValues
 from repro.errors import ServerOverloadedError
 from repro.experiments.config import (
     BASE_SEED,
@@ -46,6 +47,9 @@ QUERY_QS = (0.5, 0.9, 0.95, 0.99)
 
 #: Quantiles reported for the latency distribution.
 LATENCY_QS = (0.5, 0.9, 0.99)
+
+#: The shared latency-like value model (see :mod:`repro.data.traffic`).
+LATENCY_VALUES = LatencyValues()
 
 
 @dataclass
@@ -121,7 +125,7 @@ def _ingest_phase(
             batch_index = 0
             while remaining:
                 size = min(batch_size, remaining)
-                values = rng.lognormal(mean=4.6, sigma=0.5, size=size)
+                values = LATENCY_VALUES.sample(size, rng)
                 metric = names[(index + batch_index) % len(names)]
                 while True:
                     try:
@@ -191,7 +195,7 @@ def _overload_phase(
 ) -> int:
     """Pause draining, offer *attempts* batches, count explicit sheds."""
     rng = np.random.default_rng(seed)
-    values = rng.lognormal(mean=4.6, sigma=0.5, size=8).tolist()
+    values = LATENCY_VALUES.sample(8, rng).tolist()
     shed = 0
     server.pause_ingest()
     try:

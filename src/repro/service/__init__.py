@@ -13,6 +13,9 @@ sketches of :mod:`repro.core` composed into an actual serving system.
 * :mod:`repro.service.protocol` / ``server`` / ``client`` — a
   length-prefixed JSON TCP protocol with bounded-queue ingest and
   explicit load shedding, plus a retrying blocking client;
+* :mod:`repro.service.continuous` — :class:`ContinuousQueryEngine`,
+  standing threshold/burn-rate/top-k queries evaluated per window
+  (served over the ``cq_*`` protocol ops);
 * ``python -m repro.service`` — the ``serve`` / ``bench`` CLI.
 
 See README "Quantile service" and DESIGN §9 for the layering.
@@ -20,6 +23,7 @@ See README "Quantile service" and DESIGN §9 for the layering.
 
 from repro.service.clock import Clock, ManualClock, SystemClock
 from repro.service.client import QuantileClient
+from repro.service.continuous import ContinuousQueryEngine
 from repro.service.registry import (
     MetricKey,
     MetricRegistry,
@@ -30,6 +34,7 @@ from repro.service.store import TimePartitionedStore
 
 __all__ = [
     "Clock",
+    "ContinuousQueryEngine",
     "ManualClock",
     "SystemClock",
     "MetricKey",

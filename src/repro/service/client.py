@@ -209,6 +209,11 @@ class QuantileClient:
         code = response.get("error", "unknown")
         message = str(response.get("message", ""))
         if code == protocol.OVERLOADED:
+            # Shed responses are *successful transport* — the server
+            # answered, it just refused the work.  Count them apart
+            # from ``client.transport_retries`` so a shed-rate SLO
+            # reads actual backpressure, not connection flakiness.
+            self.telemetry.counter("client.shed_responses").inc()
             raise ServerOverloadedError(message)
         raise ServiceError(f"{code}: {message}")
 
@@ -328,6 +333,42 @@ class QuantileClient:
 
     def metrics(self) -> list[dict[str, Any]]:
         return list(self.call({"op": "metrics"})["metrics"])
+
+    # -- continuous queries --------------------------------------------
+
+    def cq_register(self, spec: Mapping[str, Any]) -> str:
+        """Register a continuous query; returns its server-side id.
+
+        *spec* is the wire-format query object (``kind`` plus
+        kind-specific fields — see DESIGN §15); the server validates it
+        and raises :class:`~repro.errors.ServiceError` on a bad spec.
+        """
+        return str(
+            self.call({"op": "cq_register", "query": dict(spec)})["id"]
+        )
+
+    def cq_unregister(self, query_id: str) -> bool:
+        """Remove a continuous query; returns whether it existed."""
+        return bool(
+            self.call({"op": "cq_unregister", "id": str(query_id)})[
+                "removed"
+            ]
+        )
+
+    def cq_list(self) -> list[dict[str, Any]]:
+        """Registered queries, sorted by id."""
+        return list(self.call({"op": "cq_list"})["queries"])
+
+    def cq_eval(self) -> list[dict[str, Any]]:
+        """Evaluate every registered query now; returns the results."""
+        return list(self.call({"op": "cq_eval"})["results"])
+
+    def cq_results(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Most recent retained evaluation results, oldest first."""
+        request: dict[str, Any] = {"op": "cq_results"}
+        if limit is not None:
+            request["limit"] = int(limit)
+        return list(self.call(request)["results"])
 
     def stats(self) -> dict[str, int]:
         return dict(self.call({"op": "stats"})["stats"])

@@ -122,6 +122,17 @@ class MetricRegistry:
         self._stores: dict[MetricKey, TimePartitionedStore] = {}
         self._lock = threading.Lock()
 
+    @property
+    def clock(self) -> Clock:
+        """The shared time source every store buckets against.
+
+        Exposed so window-relative consumers — the continuous-query
+        engine evaluates ``[now - window, now)`` per alert — read the
+        *same* clock the stores partition on; mixing clocks would make
+        windows miss or double-count partitions.
+        """
+        return self._clock
+
     # ------------------------------------------------------------------
     # Store lifecycle
     # ------------------------------------------------------------------

@@ -77,6 +77,7 @@ from repro.errors import (
 from repro.obs.telemetry import Telemetry
 from repro.service import protocol
 from repro.service.clock import Clock, SystemClock
+from repro.service.continuous import ContinuousQueryEngine
 from repro.service.registry import MetricRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - type-only; no runtime cycle
@@ -161,6 +162,10 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 self._reply(
                     protocol.error("protocol", str(exc))
                 )
+                return
+            except OSError:
+                # Peer vanished mid-read (reset, severed socket) — a
+                # lagging consumer hanging up is not a server error.
                 return
             if request is None:
                 return
@@ -284,6 +289,14 @@ class QuantileServer:
         ``host:port`` of the bound address.  Cluster nodes set this to
         their ring identity so health checks and frontier exchange
         (which share the ``node_info`` code path) agree on names.
+    final_checkpoint:
+        Whether :meth:`stop` writes a closing checkpoint (the default).
+        A checkpoint truncates the WAL segments it covers, so harnesses
+        that *record* a WAL for later what-if replay
+        (:mod:`repro.workload.whatif`) pass ``False`` to keep the full
+        record stream on disk — checkpoint blobs are sketch-config
+        specific and cannot be restored into an altered config, but raw
+        WAL records can be replayed into any.
     """
 
     def __init__(
@@ -298,6 +311,7 @@ class QuantileServer:
         telemetry: Telemetry | None = None,
         durability: "DurabilityManager | None" = None,
         node_id: str | None = None,
+        final_checkpoint: bool = True,
     ) -> None:
         if ingest_queue_size < 1:
             raise InvalidValueError(
@@ -321,6 +335,12 @@ class QuantileServer:
         )
         self.stats = ServerStats()
         self.durability = durability
+        self._final_checkpoint = bool(final_checkpoint)
+        # Standing queries evaluate on the registry's clock so alert
+        # windows and store partitions agree on "now".
+        self.continuous = ContinuousQueryEngine(
+            self.registry, telemetry=self.telemetry
+        )
         self._host = host
         self._port = port
         self._node_id = node_id
@@ -338,6 +358,13 @@ class QuantileServer:
         self._ingest_lock = threading.Lock()
         self._drain_gate = threading.Event()
         self._drain_gate.set()
+        # Parked-worker accounting: workers held at a *cleared* drain
+        # gate count themselves here, and wait_parked() lets a harness
+        # rendezvous with "all W workers are parked holding one batch
+        # each" — the precondition for byte-exact shed counts in the
+        # deterministic overload scenarios.
+        self._park_lock = threading.Condition()
+        self._parked = 0
         # Guards the start/stop lifecycle fields below; never held
         # while waiting on the queue or workers' locks, so it sits
         # outside the ingest-lock hierarchy entirely.
@@ -424,7 +451,7 @@ class QuantileServer:
             # everything) and must not block shutdown — including on a
             # poisoned WAL, whose rotate raises WALError, not OSError.
             try:
-                if (
+                if self._final_checkpoint and (
                     self.durability.wal.last_seq
                     > self.durability.last_checkpoint_seq
                 ):
@@ -469,6 +496,27 @@ class QuantileServer:
     def resume_ingest(self) -> None:
         self._drain_gate.set()
 
+    def parked_workers(self) -> int:
+        """Drain workers currently held at a cleared gate."""
+        with self._park_lock:
+            return self._parked
+
+    def wait_parked(self, n: int, timeout: float = 5.0) -> bool:
+        """Block until *n* drain workers are parked at the gate.
+
+        The deterministic-overload protocol: ``pause_ingest()``, send
+        one batch per worker, ``wait_parked(workers)`` — now every
+        worker holds exactly one in-flight batch and the queue's free
+        capacity is exact, so the next ``queue_size`` sends are all
+        accepted and every send after that is shed, byte-for-byte
+        reproducibly.  Returns whether the rendezvous happened within
+        *timeout* seconds.
+        """
+        with self._park_lock:
+            return self._park_lock.wait_for(
+                lambda: self._parked >= n, timeout=timeout
+            )
+
     def flush(self) -> None:
         """Block until every enqueued ingest has been applied.
 
@@ -494,7 +542,18 @@ class QuantileServer:
             if item is None:
                 self._queue.task_done()
                 return
-            self._drain_gate.wait()
+            if not self._drain_gate.is_set():
+                # Count the park only when the gate is actually closed:
+                # the set-gate fast path must not bounce the condition
+                # lock per batch, and wait_parked() must only ever see
+                # workers that are truly held.
+                with self._park_lock:
+                    self._parked += 1
+                    self._park_lock.notify_all()
+                self._drain_gate.wait()
+                with self._park_lock:
+                    self._parked -= 1
+                    self._park_lock.notify_all()
             batch = [item]
             got_sentinel = False
             while len(batch) < self._ingest_coalesce:
@@ -792,6 +851,41 @@ class QuantileServer:
         store, t0, t1 = self._query_target(request)
         return protocol.ok(count=store.count(t0, t1))
 
+    # -- continuous queries --------------------------------------------
+
+    def _op_cq_register(self, request: dict[str, Any]) -> dict[str, Any]:
+        spec = request.get("query")
+        if not isinstance(spec, dict):
+            raise InvalidValueError(
+                "cq_register needs a 'query' object (the query spec)"
+            )
+        return protocol.ok(id=self.continuous.register(spec))
+
+    def _op_cq_unregister(
+        self, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        query_id = request.get("id")
+        if not isinstance(query_id, str) or not query_id:
+            raise InvalidValueError(
+                "cq_unregister needs a non-empty string 'id'"
+            )
+        return protocol.ok(removed=self.continuous.unregister(query_id))
+
+    def _op_cq_list(self, request: dict[str, Any]) -> dict[str, Any]:
+        return protocol.ok(queries=self.continuous.specs())
+
+    def _op_cq_eval(self, request: dict[str, Any]) -> dict[str, Any]:
+        self.stats.incr("query_requests")
+        return protocol.ok(results=self.continuous.evaluate())
+
+    def _op_cq_results(self, request: dict[str, Any]) -> dict[str, Any]:
+        limit = request.get("limit")
+        if limit is not None and (
+            isinstance(limit, bool) or not isinstance(limit, int)
+        ):
+            raise InvalidValueError("'limit' must be an integer")
+        return protocol.ok(results=self.continuous.results(limit))
+
     def _op_metrics(self, request: dict[str, Any]) -> dict[str, Any]:
         listing = [
             {"name": key.name, "tags": key.as_dict()}
@@ -837,6 +931,11 @@ class QuantileServer:
         "count": _op_count,
         "metrics": _op_metrics,
         "stats": _op_stats,
+        "cq_register": _op_cq_register,
+        "cq_unregister": _op_cq_unregister,
+        "cq_list": _op_cq_list,
+        "cq_eval": _op_cq_eval,
+        "cq_results": _op_cq_results,
     }
 
 

@@ -1,0 +1,47 @@
+"""Production traffic simulator + continuous-query scenario layer.
+
+The service stack (:mod:`repro.service`, :mod:`repro.obs`,
+:mod:`repro.durability`, :mod:`repro.cluster`) is tested piecewise;
+this package tests it the way production breaks it — whole scenarios,
+closed loop, with SLOs asserted at the end:
+
+* :mod:`repro.workload.harness` — :class:`TrafficHarness`, one real
+  TCP server plus clients wired onto one shared
+  :class:`~repro.service.clock.ManualClock` (deterministic, sleep-free,
+  with a rendezvous protocol for *exact* overload);
+* :mod:`repro.workload.scenarios` — the catalog (diurnal load,
+  hot-tenant skew, flash crowd, reconnect storm, slow consumer,
+  cluster proxy, what-if replay), each returning an SLO report;
+* :mod:`repro.workload.slo` — the :class:`SLOCheck` vocabulary those
+  reports are made of;
+* :mod:`repro.workload.whatif` — recorded-WAL replay through altered
+  sketch configurations;
+* ``python -m repro.workload`` — the scenario runner, whose default
+  mode runs every scenario **twice** and byte-compares the canonical
+  encodings (the determinism gate CI runs as ``traffic-smoke``).
+
+See README "Traffic simulation & continuous queries" and DESIGN §15.
+"""
+
+from repro.workload.harness import TrafficHarness
+from repro.workload.scenarios import SCENARIOS, run_scenario
+from repro.workload.slo import SLOCheck, check, scenario_report
+from repro.workload.whatif import (
+    WhatIfConfig,
+    record_workload,
+    replay_config,
+    replay_whatif,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "SLOCheck",
+    "TrafficHarness",
+    "WhatIfConfig",
+    "check",
+    "record_workload",
+    "replay_config",
+    "replay_whatif",
+    "run_scenario",
+    "scenario_report",
+]

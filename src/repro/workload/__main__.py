@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.workload``."""
+
+import sys
+
+from repro.workload.cli import main
+
+sys.exit(main())

@@ -1,0 +1,151 @@
+"""``python -m repro.workload`` — run the traffic scenario catalog.
+
+Default mode is the determinism gate: every selected scenario runs
+**twice** with the same seed and the two reports are compared as
+canonical-JSON bytes (:func:`repro.service.protocol.encode_message`).
+A mismatch or a failed SLO exits non-zero, which is exactly what the
+CI ``traffic-smoke`` job asserts.
+
+Examples::
+
+    python -m repro.workload --scenario all --fast
+    python -m repro.workload --scenario flash_crowd
+    python -m repro.workload --scenario all --fast --json -o report.json
+    python -m repro.workload --scenario diurnal --once   # skip the gate
+
+Scenarios run on manual clocks and never sleep; ``--fast`` shrinks
+tick counts for smoke runs without changing any scenario's shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.core.registry import DEFAULT_SEED
+from repro.service import protocol
+from repro.workload.scenarios import SCENARIOS, run_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload",
+        description=(
+            "Deterministic production-traffic scenarios with SLO "
+            "assertions over the real quantile service."
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        default="all",
+        help=(
+            "scenario name or 'all' (choices: "
+            + ", ".join(sorted(SCENARIOS))
+            + ")"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=f"traffic seed (default {DEFAULT_SEED})",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shrink tick counts (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="run each scenario once, skipping the determinism gate",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report collection as JSON on stdout",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="also write the JSON report collection to this path",
+    )
+    return parser
+
+
+def _select(selector: str) -> list[str]:
+    if selector == "all":
+        return sorted(SCENARIOS)
+    if selector not in SCENARIOS:
+        raise SystemExit(
+            f"unknown scenario {selector!r}; choices: "
+            + ", ".join(sorted(SCENARIOS))
+            + ", all"
+        )
+    return [selector]
+
+
+def _slo_line(report: dict[str, Any]) -> str:
+    failed = [s["name"] for s in report["slos"] if not s["passed"]]
+    traffic = report["traffic"]
+    status = "PASS" if report["passed"] else "FAIL"
+    line = (
+        f"{report['scenario']:<16} {status}  "
+        f"offered={traffic['offered_values']:>6} "
+        f"accepted={traffic['accepted_values']:>6} "
+        f"shed={traffic['shed_values']:>4} "
+        f"slos={len(report['slos'])}"
+    )
+    if failed:
+        line += "  failed: " + ", ".join(failed)
+    return line
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    names = _select(args.scenario)
+    reports: dict[str, Any] = {}
+    exit_code = 0
+    for name in names:
+        report = run_scenario(name, seed=args.seed, fast=args.fast)
+        deterministic = True
+        if not args.once:
+            rerun = run_scenario(name, seed=args.seed, fast=args.fast)
+            deterministic = protocol.encode_message(
+                report
+            ) == protocol.encode_message(rerun)
+        report["deterministic"] = deterministic
+        reports[name] = report
+        if not args.json:
+            line = _slo_line(report)
+            if not args.once:
+                line += "  deterministic=" + (
+                    "yes" if deterministic else "NO"
+                )
+            print(line)
+        if not (report["passed"] and deterministic):
+            exit_code = 1
+    collection = {
+        "seed": args.seed,
+        "fast": args.fast,
+        "scenarios": reports,
+        "passed": exit_code == 0,
+    }
+    if args.json:
+        json.dump(collection, sys.stdout, indent=2, sort_keys=True)
+        print()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(collection, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if not args.json:
+            print(f"wrote {args.output}")
+    if not args.json:
+        print(
+            f"{len(names)} scenario(s): "
+            + ("all passed" if exit_code == 0 else "FAILURES")
+        )
+    return exit_code

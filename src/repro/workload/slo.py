@@ -1,0 +1,124 @@
+"""SLO checks: the pass/fail vocabulary of workload scenarios.
+
+A scenario is only as useful as what it *asserts*; this module gives
+every scenario one small, uniform way to say "this observable must
+relate to this bound" and to publish the outcome through telemetry.
+
+An :class:`SLOCheck` is a frozen record of one comparison:
+
+* ``op="le"`` — observed must be ``<=`` threshold (shed rate, p99
+  latency, recovery time);
+* ``op="ge"`` — observed must be ``>=`` threshold (alerts that *must*
+  fire, throughput floors);
+* ``op="eq"`` — observed must equal threshold within *tol* (exact shed
+  counts, conservation).  Equality goes through ``abs(diff) <= tol``
+  rather than ``==`` so float observables compare safely (``tol=0.0``
+  still gives exact semantics for integral counts).
+
+Checks publish per-scenario gauges
+(``workload.<scenario>.slo.<name>``) and a global
+``workload.slo_failures`` counter, so a scenario run leaves the same
+observability trail a production SLO evaluation would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import InvalidValueError
+from repro.obs.telemetry import Telemetry
+
+_OPS = ("le", "ge", "eq")
+
+
+@dataclass(frozen=True)
+class SLOCheck:
+    """One asserted relation between an observable and its bound."""
+
+    name: str
+    observed: float
+    op: str
+    threshold: float
+    tol: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise InvalidValueError(
+                f"SLO op must be one of {_OPS}, got {self.op!r}"
+            )
+        if self.tol < 0:
+            raise InvalidValueError(
+                f"SLO tol must be >= 0, got {self.tol!r}"
+            )
+
+    @property
+    def passed(self) -> bool:
+        if self.op == "le":
+            return self.observed <= self.threshold
+        if self.op == "ge":
+            return self.observed >= self.threshold
+        return abs(self.observed - self.threshold) <= self.tol
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "observed": float(self.observed),
+            "op": self.op,
+            "threshold": float(self.threshold),
+            "passed": self.passed,
+        }
+
+
+def check(
+    name: str,
+    observed: float,
+    op: str,
+    threshold: float,
+    tol: float = 0.0,
+) -> SLOCheck:
+    """Build one :class:`SLOCheck` (thin constructor sugar)."""
+    return SLOCheck(
+        name=name,
+        observed=float(observed),
+        op=op,
+        threshold=float(threshold),
+        tol=float(tol),
+    )
+
+
+def publish(
+    telemetry: Telemetry, scenario: str, checks: Iterable[SLOCheck]
+) -> None:
+    """Mirror *checks* into gauges/counters on *telemetry*."""
+    for item in checks:
+        telemetry.gauge(f"workload.{scenario}.slo.{item.name}").set(
+            item.observed
+        )
+        if not item.passed:
+            telemetry.counter("workload.slo_failures").inc()
+
+
+def scenario_report(
+    scenario: str,
+    seed: int,
+    fast: bool,
+    traffic: dict[str, int],
+    metrics: dict[str, Any],
+    checks: list[SLOCheck],
+) -> dict[str, Any]:
+    """Assemble one scenario's canonical report object.
+
+    Every field is a deterministic function of (scenario code, seed)
+    under a manual clock — the CLI's determinism gate encodes two runs
+    of this object to canonical JSON and compares bytes.
+    """
+    return {
+        "scenario": scenario,
+        "seed": int(seed),
+        "fast": bool(fast),
+        "traffic": dict(traffic),
+        "metrics": dict(metrics),
+        "slos": [item.as_dict() for item in checks],
+        "passed": all(item.passed for item in checks),
+    }

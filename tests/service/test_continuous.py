@@ -1,0 +1,283 @@
+"""Tests for the continuous-query engine and its wire-level ops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.obs.telemetry import Telemetry
+from repro.service import (
+    ContinuousQueryEngine,
+    ManualClock,
+    MetricRegistry,
+    QuantileClient,
+    QuantileServer,
+)
+
+
+def make_registry(start_ms: float = 10_000.0, partition_ms: float = 1_000.0):
+    clock = ManualClock(start_ms)
+    return MetricRegistry(clock=clock, partition_ms=partition_ms), clock
+
+
+class TestRegistration:
+    def test_ids_are_sequential_and_stable(self):
+        registry, _clock = make_registry()
+        engine = ContinuousQueryEngine(registry)
+        first = engine.register(
+            {"kind": "threshold", "metric": "lat",
+             "threshold": 1.0, "window_ms": 1_000.0}
+        )
+        second = engine.register(
+            {"kind": "topk", "prefix": "lat", "window_ms": 1_000.0}
+        )
+        assert first == "cq-0001"
+        assert second == "cq-0002"
+        assert [spec["id"] for spec in engine.specs()] == [first, second]
+        assert len(engine) == 2
+
+    def test_normalisation_fills_defaults(self):
+        registry, _clock = make_registry()
+        engine = ContinuousQueryEngine(registry)
+        engine.register(
+            {"kind": "threshold", "metric": "lat",
+             "threshold": 5.0, "window_ms": 2_000.0}
+        )
+        spec = engine.specs()[0]
+        assert spec["q"] == 0.99
+        assert spec["op"] == "gt"
+        assert spec["tags"] is None
+
+    def test_unregister(self):
+        registry, _clock = make_registry()
+        engine = ContinuousQueryEngine(registry)
+        query_id = engine.register(
+            {"kind": "topk", "prefix": "lat", "window_ms": 1_000.0}
+        )
+        assert engine.unregister(query_id)
+        assert not engine.unregister(query_id)
+        assert len(engine) == 0
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {"kind": "nope"},
+            {"kind": "threshold", "metric": "lat", "window_ms": 1.0},
+            {"kind": "threshold", "metric": "lat", "threshold": 1.0,
+             "window_ms": -5.0},
+            {"kind": "threshold", "metric": "lat", "threshold": 1.0,
+             "window_ms": 1.0, "op": "between"},
+            {"kind": "threshold", "metric": "lat", "threshold": 1.0,
+             "window_ms": 1.0, "q": 1.5},
+            {"kind": "burn_rate", "metric": "lat", "objective_ms": 1.0,
+             "fast_ms": 10.0, "slow_ms": 5.0},
+            {"kind": "burn_rate", "metric": "lat", "objective_ms": 1.0,
+             "fast_ms": 5.0, "slow_ms": 10.0, "target": 1.0},
+            {"kind": "topk", "prefix": "lat", "window_ms": 1.0, "k": 0},
+            {"kind": "topk", "prefix": "", "window_ms": 1.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, spec):
+        registry, _clock = make_registry()
+        engine = ContinuousQueryEngine(registry)
+        with pytest.raises(InvalidValueError):
+            engine.register(spec)
+
+
+class TestThreshold:
+    def test_fires_only_when_crossed(self):
+        registry, clock = make_registry()
+        engine = ContinuousQueryEngine(registry)
+        engine.register(
+            {"kind": "threshold", "metric": "lat", "q": 0.5,
+             "threshold": 100.0, "window_ms": 2_000.0}
+        )
+        registry.record("lat", [50.0] * 20, clock.now_ms())
+        clock.advance(1_000.0)
+        (ok,) = engine.evaluate()
+        assert ok["status"] == "ok"
+        assert ok["observed"] < 100.0
+        registry.record("lat", [500.0] * 200, clock.now_ms())
+        clock.advance(1_000.0)
+        (firing,) = engine.evaluate()
+        assert firing["status"] == "firing"
+        assert firing["observed"] > 100.0
+
+    def test_lt_direction_and_window_expiry(self):
+        registry, clock = make_registry()
+        engine = ContinuousQueryEngine(registry)
+        engine.register(
+            {"kind": "threshold", "metric": "lat", "q": 0.5, "op": "lt",
+             "threshold": 100.0, "window_ms": 1_000.0}
+        )
+        registry.record("lat", [10.0] * 20, clock.now_ms())
+        clock.advance(500.0)
+        (firing,) = engine.evaluate()
+        assert firing["status"] == "firing"
+        # Move the window past the data: no_data, not a stale alert.
+        clock.advance(5_000.0)
+        (stale,) = engine.evaluate()
+        assert stale["status"] == "no_data"
+        assert stale["observed"] is None
+
+    def test_missing_store_is_no_data(self):
+        registry, _clock = make_registry()
+        engine = ContinuousQueryEngine(registry)
+        engine.register(
+            {"kind": "threshold", "metric": "ghost",
+             "threshold": 1.0, "window_ms": 1_000.0}
+        )
+        (result,) = engine.evaluate()
+        assert result["status"] == "no_data"
+
+
+class TestBurnRate:
+    def make_engine(self):
+        registry, clock = make_registry()
+        engine = ContinuousQueryEngine(registry)
+        engine.register(
+            {"kind": "burn_rate", "metric": "lat", "objective_ms": 100.0,
+             "target": 0.9, "fast_ms": 1_000.0, "slow_ms": 3_000.0,
+             "factor": 2.0}
+        )
+        return registry, clock, engine
+
+    def test_sustained_burn_fires(self):
+        registry, clock, engine = self.make_engine()
+        # Every window: half the requests breach a 90% objective
+        # => burn rate 5.0 >= factor in both windows.
+        for _ in range(3):
+            registry.record(
+                "lat", [50.0] * 10 + [500.0] * 10, clock.now_ms()
+            )
+            clock.advance(1_000.0)
+        (result,) = engine.evaluate()
+        assert result["status"] == "firing"
+        assert result["fast_burn"] == pytest.approx(5.0)
+        assert result["slow_burn"] == pytest.approx(5.0)
+
+    def test_recovered_incident_does_not_fire(self):
+        registry, clock, engine = self.make_engine()
+        # Old breach, then two clean windows: slow window still burns,
+        # fast window does not => no alert.
+        registry.record("lat", [500.0] * 10, clock.now_ms())
+        clock.advance(1_000.0)
+        for _ in range(2):
+            registry.record("lat", [50.0] * 10, clock.now_ms())
+            clock.advance(1_000.0)
+        (result,) = engine.evaluate()
+        assert result["status"] == "ok"
+        assert result["fast_burn"] < 2.0 <= result["slow_burn"]
+
+
+class TestTopK:
+    def test_ranks_worst_tail_first(self):
+        registry, clock = make_registry()
+        engine = ContinuousQueryEngine(registry)
+        engine.register(
+            {"kind": "topk", "prefix": "lat.tenant", "q": 0.5, "k": 2,
+             "window_ms": 2_000.0}
+        )
+        now = clock.now_ms()
+        registry.record("lat.tenant00", [10.0] * 10, now)
+        registry.record("lat.tenant01", [900.0] * 10, now)
+        registry.record("lat.tenant02", [300.0] * 10, now)
+        registry.record("other.series", [9_999.0] * 10, now)
+        clock.advance(1_000.0)
+        (result,) = engine.evaluate()
+        tenants = result["tenants"]
+        assert [entry["metric"] for entry in tenants] == [
+            "lat.tenant01", "lat.tenant02",
+        ]
+        assert result["status"] == "ok"
+
+    def test_empty_prefix_match_is_no_data(self):
+        registry, _clock = make_registry()
+        engine = ContinuousQueryEngine(registry)
+        engine.register(
+            {"kind": "topk", "prefix": "ghost", "window_ms": 1_000.0}
+        )
+        (result,) = engine.evaluate()
+        assert result["status"] == "no_data"
+        assert result["tenants"] == []
+
+
+class TestHistoryAndTelemetry:
+    def test_results_retained_oldest_first_and_bounded(self):
+        registry, clock = make_registry()
+        engine = ContinuousQueryEngine(registry, max_results=4)
+        engine.register(
+            {"kind": "topk", "prefix": "lat", "window_ms": 1_000.0}
+        )
+        for _ in range(6):
+            engine.evaluate()
+            clock.advance(100.0)
+        history = engine.results()
+        assert len(history) == 4
+        windows = [entry["window"][1] for entry in history]
+        assert windows == sorted(windows)
+        assert len(engine.results(limit=2)) == 2
+        with pytest.raises(InvalidValueError):
+            engine.results(limit=0)
+
+    def test_counters(self):
+        registry, clock = make_registry()
+        telemetry = Telemetry(clock=clock)
+        engine = ContinuousQueryEngine(registry, telemetry=telemetry)
+        engine.register(
+            {"kind": "threshold", "metric": "lat", "q": 0.5,
+             "threshold": 1.0, "window_ms": 2_000.0}
+        )
+        registry.record("lat", [100.0] * 5, clock.now_ms())
+        clock.advance(100.0)
+        engine.evaluate()
+        engine.evaluate()
+        counters = telemetry.snapshot()["counters"]
+        assert counters["cq.evaluations"] == 2
+        assert counters["cq.alerts"] == 2
+
+
+class TestWireOps:
+    """The cq_* protocol verbs, exercised over a real TCP connection."""
+
+    @pytest.fixture()
+    def service(self):
+        clock = ManualClock(10_000.0)
+        registry = MetricRegistry(clock=clock, partition_ms=1_000.0)
+        server = QuantileServer(registry=registry, ingest_queue_size=32)
+        server.start()
+        host, port = server.address
+        client = QuantileClient(host, port, clock=clock)
+        try:
+            yield client, clock
+        finally:
+            client.close()
+            server.stop()
+
+    def test_register_eval_results_roundtrip(self, service):
+        client, clock = service
+        query_id = client.cq_register(
+            {"kind": "threshold", "metric": "lat", "q": 0.5,
+             "threshold": 100.0, "window_ms": 2_000.0}
+        )
+        assert query_id == "cq-0001"
+        client.ingest("lat", [500.0] * 50)
+        client.flush()
+        clock.advance(1_000.0)
+        (result,) = client.cq_eval()
+        assert result["status"] == "firing"
+        listed = client.cq_list()
+        assert [spec["id"] for spec in listed] == [query_id]
+        history = client.cq_results()
+        assert len(history) == 1
+        assert client.cq_results(limit=1) == history
+        assert client.cq_unregister(query_id)
+        assert not client.cq_unregister(query_id)
+        assert client.cq_list() == []
+
+    def test_bad_spec_is_protocol_error(self, service):
+        from repro.errors import ServiceError
+
+        client, _clock = service
+        with pytest.raises(ServiceError):
+            client.cq_register({"kind": "nope"})

@@ -1,0 +1,1 @@
+"""Tests for the production traffic simulator (repro.workload)."""
